@@ -1,0 +1,51 @@
+"""Shared context for the benchmark suite.
+
+Every benchmark reproduces one table or figure of the paper, prints the
+same rows/series the paper reports, and asserts its qualitative shape.
+The expensive inputs (dataset, cnvW1A1 CF labels) are computed once per
+session.
+
+Environment knobs:
+
+* ``REPRO_BENCH_MODULES`` — RTL sweep size (default 800; the paper uses
+  ~2,000 — set 2000 for the full reproduction).
+* ``REPRO_BENCH_RF_TREES`` — random-forest size (default 120; paper 1,000).
+* ``REPRO_BENCH_SA_ITERS`` — stitcher SA budget (default 30,000).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.context import ExperimentContext
+from repro.flow.stitcher import SAParams
+
+N_MODULES = int(os.environ.get("REPRO_BENCH_MODULES", "800"))
+RF_TREES = int(os.environ.get("REPRO_BENCH_RF_TREES", "120"))
+SA_ITERS = int(os.environ.get("REPRO_BENCH_SA_ITERS", "30000"))
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext(
+        seed=0, n_modules=N_MODULES, cap_per_bin=75, rf_trees=RF_TREES
+    )
+
+
+@pytest.fixture(scope="session")
+def sa_params() -> SAParams:
+    return SAParams(max_iters=SA_ITERS, seed=0)
+
+
+def pytest_configure(config) -> None:
+    """Surface each benchmark's printed paper table in the run summary.
+
+    The whole point of these benches is the rows/series they print; make
+    ``pytest benchmarks/ --benchmark-only`` show them without requiring
+    ``-s``.
+    """
+    chars = getattr(config.option, "reportchars", "") or ""
+    if "P" not in chars:
+        config.option.reportchars = chars + "P"

@@ -1,0 +1,21 @@
+"""Ablation — k-fold cross-validation of the Table II conclusion.
+
+The paper's Table II uses one 80/20 split; this bench verifies the
+"relative features beat raw counts" conclusion holds across folds with
+its variance reported.
+"""
+
+from _bench_utils import run_once
+
+from repro.analysis.exp_cv import run_cv_study
+
+
+def test_ablation_cv(benchmark, ctx):
+    res = run_once(benchmark, run_cv_study, ctx, k=5)
+    print("\n" + res.render())
+
+    # The paper's conclusion holds on fold means for the forest.
+    assert res.rf["additional"][0] < res.rf["classical"][0]
+    assert res.additional_wins("rf")
+    # Fold variance stays small relative to the effect.
+    assert res.rf["additional"][1] < 0.05

@@ -1,0 +1,22 @@
+"""Ablation — cross-device transfer of the trained estimator.
+
+Trains on xc7z020 minimal-CF labels and evaluates against xc7z010 labels:
+within a device family sharing the column unit, the CF is almost
+device-independent (quantization shifts appear only where the smaller
+fabric clamps tall PBlocks), so one trained estimator serves the family.
+"""
+
+from _bench_utils import run_once
+
+from repro.analysis.exp_transfer import run_transfer_study
+
+
+def test_ablation_device_transfer(benchmark, ctx):
+    res = run_once(benchmark, run_transfer_study, ctx)
+    print("\n" + res.render())
+
+    assert res.n_test > 40
+    # Labels barely move between family members...
+    assert res.label_shift < 0.05
+    # ...so the cross-device error stays close to the in-device error.
+    assert res.cross_device_error <= res.in_device_error + 0.03

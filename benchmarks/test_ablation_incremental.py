@@ -1,0 +1,26 @@
+"""Ablation — incremental recompilation (the paper's §I motivation).
+
+The paper motivates pre-implemented-block flows with design-space
+exploration: changing one NN layer should not recompile the other 73
+modules.  This bench changes the layer-5 MVAU folding and measures the
+implementation-effort ratio between a full recompilation and the RW-style
+cache hit.
+"""
+
+from _bench_utils import run_once
+
+from repro.analysis.exp_incremental import run_incremental_study
+
+
+def test_ablation_incremental(benchmark, ctx):
+    res = run_once(benchmark, run_incremental_study, ctx)
+    print("\n" + res.render())
+
+    # Only the changed module is re-implemented.
+    assert res.incremental_runs == 1
+    assert res.full_runs == 74
+    # The effort saving is large: one mid-size module vs the whole design
+    # (paper §I: incremental vendor flows only reach 2x at 95% reuse —
+    # block reuse does far better for this change).
+    assert res.effort_speedup > 10
+    assert res.reuse_fraction > 0.9

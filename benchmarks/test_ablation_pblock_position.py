@@ -1,0 +1,65 @@
+"""Ablation — PBlock position optimization (the paper's future work).
+
+Section VIII: "Apart from the PBlock size, an important aspect is its
+position [...] of interest for future work."  This bench re-anchors each
+cnvW1A1 module's minimal-CF PBlock to its best-scoring legal position and
+measures the timing effect of avoiding clock-region crossings and the
+clock spine.
+"""
+
+from _bench_utils import run_once
+
+from repro.pblock.position import optimize_position, score_position
+from repro.route.timing import longest_path
+from repro.place.packer import pack
+from repro.utils.tables import Table
+
+
+def _sweep(ctx):
+    rows = []
+    for rec in ctx.cnv_nontrivial():
+        from repro.pblock.cf_search import minimal_cf
+
+        found = minimal_cf(
+            rec.stats, ctx.z020, search_down=True, report=rec.report
+        )
+        default_pb = found.pblock
+        best_pb = optimize_position(default_pb, rec.stats)
+        res_best = pack(rec.stats, best_pb)
+        if not res_best.feasible:
+            continue
+        t_default = longest_path(rec.stats, found.result, default_pb).total_ns
+        t_best = longest_path(rec.stats, res_best, best_pb).total_ns
+        rows.append(
+            (
+                rec.name,
+                score_position(default_pb).total,
+                score_position(best_pb).total,
+                t_default,
+                t_best,
+                default_pb.crosses_region_boundary(),
+                best_pb.crosses_region_boundary(),
+            )
+        )
+    return rows
+
+
+def test_ablation_pblock_position(benchmark, ctx):
+    rows = run_once(benchmark, _sweep, ctx)
+
+    n_cross_before = sum(1 for r in rows if r[5])
+    n_cross_after = sum(1 for r in rows if r[6])
+    mean_t_before = sum(r[3] for r in rows) / len(rows)
+    mean_t_after = sum(r[4] for r in rows) / len(rows)
+
+    t = Table(["metric", "default anchor", "optimized anchor"],
+              title="PBlock position ablation (cnvW1A1 modules)")
+    t.add_row(["region crossings", n_cross_before, n_cross_after])
+    t.add_row(["mean longest path (ns)", f"{mean_t_before:.3f}", f"{mean_t_after:.3f}"])
+    print("\n" + t.render())
+
+    # Optimized anchors never score worse and never add crossings.
+    for r in rows:
+        assert r[2] <= r[1] + 1e-9
+    assert n_cross_after <= n_cross_before
+    assert mean_t_after <= mean_t_before + 1e-9

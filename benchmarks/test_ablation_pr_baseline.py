@@ -1,0 +1,69 @@
+"""Ablation — partial reconfiguration vs pre-implemented blocks (§II).
+
+The paper argues against PR-based flows for DSE: fixed partitions either
+waste area (updates shrink) or force offline re-floorplanning (updates
+grow), and cannot be provisioned at all for near-full designs.  This
+bench runs a DSE sequence against both approaches on the small xc7z010
+(where PR planning is possible at all for a sub-design).
+"""
+
+from _bench_utils import run_once
+
+from repro.cnv.blocks import build_block
+from repro.flow.blockdesign import BlockDesign
+from repro.flow.prflow import apply_update, plan_partitions
+from repro.netlist.stats import compute_stats
+from repro.place.packer import slice_demand
+from repro.synth.mapper import opt_design, synthesize
+from repro.utils.tables import Table
+
+#: DSE steps: scale changes of the single evolving block.
+_DSE_SCALES = (0.8, 1.2, 1.6, 2.4)
+
+
+def _small_design() -> BlockDesign:
+    d = BlockDesign(name="pr-dse")
+    d.add_module(build_block("mvau", "pe", 1.0))
+    d.add_module(build_block("weights", "mem", 1.0))
+    d.add_module(build_block("swu", "window", 1.0))
+    d.add_instance("pe0", "pe")
+    d.add_instance("mem0", "mem")
+    d.add_instance("window0", "window")
+    d.connect("window0", "pe0")
+    d.connect("mem0", "pe0")
+    return d
+
+
+def _sweep(ctx):
+    design = _small_design()
+    plan = plan_partitions(design, ctx.z010, headroom=1.3)
+    rows = []
+    for scale in _DSE_SCALES:
+        updated = build_block("mvau", "pe", scale)
+        stats = compute_stats(opt_design(synthesize(updated)))
+        out = apply_update(plan, stats)
+        # The RW-style flow just re-implements the module at its own size.
+        rw_area = slice_demand(stats)
+        rows.append((scale, out.fits, out.wasted_slices, rw_area))
+    return plan, rows
+
+
+def test_ablation_pr_baseline(benchmark, ctx):
+    plan, rows = run_once(benchmark, _sweep, ctx)
+
+    t = Table(
+        ["DSE scale", "PR fits", "PR wasted slices", "RW area (exact)"],
+        title="PR fixed partitions vs pre-implemented blocks",
+    )
+    for scale, fits, waste, rw in rows:
+        t.add_row([scale, fits, waste if fits else "-", rw])
+    print("\n" + t.render())
+
+    # Shrinking updates fit but waste reserved area.
+    shrink = rows[0]
+    assert shrink[1] and shrink[2] > 0
+    # Growing updates eventually stop fitting — the offline re-floorplan
+    # case the paper criticizes.
+    assert not rows[-1][1]
+    # The RW flow never wastes: its PBlock tracks the module's real size.
+    assert all(rw > 0 for *_, rw in rows)

@@ -1,0 +1,37 @@
+"""Fig. 12 — RF feature importance with cnvW1A1 as the test set.
+
+Paper shape: even with all features available, the relative features
+carry the decision (the paper's Carry/All keeps ~0.4 of the weight).
+"""
+
+from _bench_utils import run_once
+
+from repro.analysis.exp_cnv_estimator import run_fig12_cnv_importance
+
+_RELATIVE = {
+    "carry_over_all",
+    "ff_over_all",
+    "lut_over_all",
+    "m_ratio",
+    "density",
+    "cs_per_ff_slice",
+    "fanout_norm",
+}
+
+
+def test_fig12_cnv_importance(benchmark, ctx):
+    res = run_once(benchmark, run_fig12_cnv_importance, ctx)
+    print("\n" + res.render())
+
+    assert abs(sum(res.importances.values()) - 1.0) < 1e-6
+
+    # Relative features dominate even when absolute counts are available.
+    rel_mass = sum(v for k, v in res.importances.items() if k in _RELATIVE)
+    assert rel_mass > 0.5
+
+    name, weight = res.top_feature()
+    assert name in _RELATIVE
+    assert weight > 0.15  # paper: single feature ~0.4
+
+    # The trained forest transfers to cnvW1A1 with bounded error.
+    assert res.cnv_median_err < 0.20

@@ -1,0 +1,27 @@
+"""Fig. 3 — footprint regularity at constant CF=1.5 vs the minimal CF.
+
+The paper shows the same modules placed with CF 1.5 (irregular shapes)
+and the smallest feasible PBlock (near-rectangular); regular shapes are
+what lets the stitcher pack blocks tightly.
+"""
+
+from _bench_utils import run_once
+
+from repro.analysis.exp_table1 import run_fig3_footprints
+
+
+def test_fig3_footprints(benchmark, ctx):
+    results = run_once(benchmark, run_fig3_footprints, ctx)
+    print()
+    for res in results:
+        print(res.render())
+
+    by_name = {r.module: r for r in results}
+    for res in results:
+        # Minimal-CF placements are at least as rectangular and never
+        # have a larger bounding box.
+        assert res.rect_min >= res.rect_cf15 - 0.05
+        assert res.bbox_min <= res.bbox_cf15
+    # The large block shows the effect clearly.
+    w14 = by_name["weights_14"]
+    assert w14.rect_min > w14.rect_cf15

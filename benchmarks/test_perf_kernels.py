@@ -1,0 +1,96 @@
+"""Performance micro-benchmarks of the library's hot kernels.
+
+Unlike the experiment benches (which run once), these use real
+pytest-benchmark rounds: they track the throughput of the detailed
+packer, the minimal-CF sweep, the tree fit and the stitcher move loop —
+the four kernels every experiment's wall-clock depends on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.device.parts import xc7z020
+from repro.flow.blockdesign import BlockDesign
+from repro.flow.stitcher import SAParams, stitch
+from repro.ml.tree import DecisionTreeRegressor
+from repro.netlist.stats import compute_stats
+from repro.pblock.cf_search import minimal_cf
+from repro.pblock.generator import build_pblock
+from repro.place.packer import pack
+from repro.place.quick import quick_place
+from repro.place.shapes import Footprint
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.constructs import RandomLogicCloud, SumOfSquares
+from repro.synth.mapper import synthesize
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return xc7z020()
+
+
+@pytest.fixture(scope="module")
+def module_stats():
+    m = RTLModule.make(
+        "perf_mod",
+        [RandomLogicCloud(n_luts=800, avg_inputs=4.5), SumOfSquares(width=16, n_terms=2)],
+    )
+    return compute_stats(synthesize(m))
+
+
+def test_perf_pack(benchmark, grid, module_stats):
+    """One detailed packing attempt (the CF sweep's inner loop)."""
+    report = quick_place(module_stats)
+    pb = build_pblock(module_stats, report, 1.4, grid)
+    result = benchmark(pack, module_stats, pb)
+    assert result.feasible
+
+
+def test_perf_minimal_cf(benchmark, grid, module_stats):
+    """A full minimal-CF sweep for a mid-size module."""
+    report = quick_place(module_stats)
+    result = benchmark(
+        minimal_cf, module_stats, grid, report=report
+    )
+    assert result.cf >= 0.9
+
+
+def test_perf_synthesize(benchmark):
+    """Technology mapping of a 800-LUT module."""
+    m = RTLModule.make(
+        "perf_synth", [RandomLogicCloud(n_luts=800, avg_inputs=4.2)]
+    )
+    netlist = benchmark(synthesize, m)
+    assert netlist.n_cells >= 800
+
+
+def test_perf_tree_fit(benchmark):
+    """CART fit at dataset scale (1,500 x 16)."""
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(1500, 16))
+    y = X @ rng.normal(size=16) + 0.1 * rng.normal(size=1500)
+
+    def fit():
+        return DecisionTreeRegressor(max_depth=20, min_samples_leaf=2).fit(X, y)
+
+    model = benchmark(fit)
+    assert model.depth() > 2
+
+
+def test_perf_stitch_small(benchmark, grid):
+    """A short stitching run over 40 macros."""
+    from repro.device.column import ColumnKind
+
+    d = BlockDesign(name="perf")
+    d.add_module(RTLModule.make("m", [RandomLogicCloud(n_luts=8)]))
+    fp = Footprint((ColumnKind.CLBLL, ColumnKind.CLBLM), (12, 12))
+    for i in range(40):
+        d.add_instance(f"i{i}", "m")
+    for i in range(39):
+        d.connect(f"i{i}", f"i{i + 1}", width=4)
+
+    def run():
+        return stitch(d, {"m": fp}, grid, SAParams(max_iters=2000, seed=0))
+
+    result = benchmark(run)
+    assert result.n_unplaced == 0

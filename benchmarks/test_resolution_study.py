@@ -1,0 +1,31 @@
+"""§VI-C ablation — CF search-step resolution versus module size.
+
+Paper observations: sub-100-LUT modules gain nothing below a 0.1 step
+(the PBlock cannot change for <10% area increments), ~2,500-LUT modules
+need 0.03 or finer, and 85% of the dataset sits under 2,500 LUTs —
+motivating the chosen 0.02.
+"""
+
+from _bench_utils import run_once
+
+from repro.analysis.exp_resolution import run_resolution_study
+
+
+def test_resolution_study(benchmark, ctx):
+    res = run_once(benchmark, run_resolution_study, ctx, n_samples=120)
+    print("\n" + res.render())
+
+    small = res.overshoot[(0, 100)]
+    large = res.overshoot[(1000, 10**9)]
+
+    # Coarser steps never find a smaller CF.
+    for per_step in res.overshoot.values():
+        assert per_step[0.1] >= per_step[0.02] - 1e-9
+        assert per_step[0.05] >= per_step[0.02] - 1e-9
+
+    # Small modules barely benefit from fine steps; large modules do.
+    if res.n_per_bin[(0, 100)] and res.n_per_bin[(1000, 10**9)]:
+        assert small[0.1] <= large[0.1] + 0.02
+
+    # Most of the dataset is under 2,500 LUTs (paper: 85%).
+    assert res.frac_below_2500_luts > 0.6

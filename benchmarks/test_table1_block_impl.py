@@ -1,0 +1,37 @@
+"""Table I — per-block synthesis results of the cnvW1A1.
+
+Paper numbers: ``mvau_18`` 31/28 slices (CF 1.5 / minimal) vs 30,34,32,29
+flat-flow; ``weights_14`` 1529/1371 vs 1430; timing worsens as the PBlock
+tightens; the flat flow uses 99.98% of the device.
+"""
+
+from _bench_utils import run_once
+
+from repro.analysis.exp_table1 import run_table1
+
+
+def test_table1_block_impl(benchmark, ctx):
+    res = run_once(benchmark, run_table1, ctx)
+    print("\n" + res.render())
+
+    rows = {r.module: r for r in res.rows}
+    m18, w14 = rows["mvau_18"], rows["weights_14"]
+
+    # Slice ordering: minimal CF <= flat flow mean <= loose CF (per module).
+    for row in (m18, w14):
+        amd_mean = sum(row.slices_amd) / len(row.slices_amd)
+        assert row.slices_min <= row.slices_cf15
+        assert row.slices_min <= amd_mean * 1.02
+    # Loose CF wastes slices on the large block (paper: 1529 vs 1371).
+    assert w14.slices_cf15 > w14.slices_min
+
+    # Timing: tighter placement is slower (paper: 13.478 vs 10.767 ns).
+    assert w14.path_min_ns > w14.path_cf15_ns
+
+    # Magnitudes stay in the paper's ballpark.
+    assert abs(w14.slices_min - 1371) / 1371 < 0.10
+    assert abs(m18.slices_min - 28) <= 5
+    assert len(m18.slices_amd) == 4  # four instances, four placements
+
+    # Flat flow fills the device (paper: 99.98%).
+    assert res.amd_utilization > 0.97

@@ -1,0 +1,47 @@
+"""Table II — relative error of the proposed estimators per feature set.
+
+Paper numbers (%):
+
+=============== ========= ========== ========== ====
+model           Classical Classical* Additional All
+=============== ========= ========== ========== ====
+Decision Tree   7.4       7.4        5.4        5.2
+Random Forest   6.2       5.9        4.8        4.9
+Neural Network  -         -          -          5.1
+=============== ========= ========== ========== ====
+
+plus linear regression at 9.4%.  The reproduction targets the *shape*:
+relative ("Additional") features beat raw counts, RF <= DT, placement
+features barely help, NN comparable to the trees, linreg worst.
+"""
+
+from _bench_utils import run_once
+
+from repro.analysis.exp_estimators import run_table2_errors
+
+
+def test_table2_estimator_errors(benchmark, ctx):
+    res = run_once(benchmark, run_table2_errors, ctx)
+    print("\n" + res.render())
+
+    dt, rf = res.dt_errors, res.rf_errors
+
+    # Relative features outperform the (extended) classical features
+    # (the DT comparison is noisier, so it gets a small tolerance that
+    # only matters for reduced REPRO_BENCH_MODULES runs).
+    assert dt["additional"] < dt["classical"] * 1.10
+    assert rf["additional"] < rf["classical"]
+    # Placement features do not significantly improve on classical.
+    assert abs(dt["classical_placement"] - dt["classical"]) < 0.03
+    # The forest is at least as good as a single tree.
+    for fs in dt:
+        assert rf[fs] <= dt[fs] * 1.15
+    # "All" does not beat the relative features for RF (paper's note).
+    assert rf["all"] >= rf["additional"] - 0.01
+    # NN lands in the same regime as the trees.
+    assert abs(res.nn_error_all - rf["all"]) < 0.05
+    # Linear regression does not beat the best tree model by a margin
+    # (at full dataset size it is the weakest model, as in the paper).
+    assert res.linreg_error >= rf["additional"] * 0.85
+    # Absolute regime: single-digit percent errors (paper: ~5%).
+    assert rf["additional"] < 0.10

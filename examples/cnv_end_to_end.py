@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The paper's headline experiment: compile cnvW1A1 with pre-implemented
+blocks under three CF policies and compare the stitched placements.
+
+Reproduces the Fig. 5 comparison (constant worst-case CF vs per-module
+minimal CF) plus the flat-flow baseline, then prints ASCII renderings of
+the stitched placements.
+
+Run:  python examples/cnv_end_to_end.py        (~1 minute)
+"""
+
+from repro.cnv import cnv_design
+from repro.device import xc7z020
+from repro.flow import (
+    FixedCF,
+    MinimalCFPolicy,
+    SAParams,
+    monolithic_flow,
+    run_rw_flow,
+)
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    design = cnv_design()
+    grid = xc7z020()
+    print(design.summary())
+    print(f"target: {grid.summary()}\n")
+
+    # Baseline: the flat "AMD EDA"-style flow places everything at ~full
+    # utilization (paper: 99.98%).
+    mono = monolithic_flow(design, grid)
+    print(
+        f"flat flow: {mono.total_slices} slices, "
+        f"{mono.utilization * 100:.2f}% utilization, placed={mono.placed}\n"
+    )
+
+    sa = SAParams(max_iters=30000, seed=0)
+    t = Table(
+        ["policy", "placed", "unplaced", "mean CF", "tool runs", "SA cost"],
+        title="RW-style flow on the xc7z020",
+    )
+    results = {}
+    for label, policy in [
+        ("constant CF=1.68", FixedCF(1.68)),
+        ("minimal CF (oracle)", MinimalCFPolicy()),
+    ]:
+        res = run_rw_flow(design, grid, policy, sa_params=sa)
+        results[label] = res
+        t.add_row(
+            [
+                label,
+                res.stitch.n_placed,
+                res.stitch.n_unplaced,
+                f"{res.mean_cf:.2f}",
+                res.total_tool_runs,
+                f"{res.stitch.final_cost:.0f}",
+            ]
+        )
+    print(t.render())
+
+    const = results["constant CF=1.68"].stitch
+    tight = results["minimal CF (oracle)"].stitch
+    gain = (tight.n_placed / const.n_placed - 1) * 100
+    print(
+        f"\nminimal CF places {gain:.1f}% more blocks "
+        f"(paper: ~15% more placed blocks)\n"
+    )
+
+    print("constant-CF placement (each '#' = occupied fabric):")
+    print(const.render(max_width=60))
+    print("\nminimal-CF placement:")
+    print(tight.render(max_width=60))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Inspect the modeled Zynq-7000 fabric.
+
+Prints the column layout, per-part capacities, relocation anchors for a
+sample block pattern and the PBlocks a module gets at different CFs —
+useful for understanding why PBlock quantization makes sub-1.0 CFs
+feasible (paper §IV).
+
+Run:  python examples/explore_device.py
+"""
+
+from repro.device import ColumnKind, list_parts, make_part
+from repro.netlist import compute_stats
+from repro.pblock import build_pblock
+from repro.place import quick_place
+from repro.rtlgen import LutramGenerator
+from repro.synth import synthesize
+from repro.utils.tables import Table
+
+_GLYPH = {
+    ColumnKind.CLBLL: "L",
+    ColumnKind.CLBLM: "M",
+    ColumnKind.BRAM: "B",
+    ColumnKind.DSP: "D",
+    ColumnKind.CLOCK: "|",
+}
+
+
+def main() -> None:
+    t = Table(
+        ["part", "cols", "rows", "slices", "M slices", "BRAM36", "DSP48"],
+        title="modeled parts",
+    )
+    for name in list_parts():
+        grid = make_part(name)
+        caps = grid.device_caps()
+        t.add_row(
+            [
+                name,
+                grid.n_cols,
+                grid.height_clbs,
+                caps.slices,
+                caps.m_slices,
+                caps.bram36,
+                caps.dsp48,
+            ]
+        )
+    print(t.render(), "\n")
+
+    grid = make_part("xc7z020")
+    print("xc7z020 column layout (L=CLBLL M=CLBLM B=BRAM D=DSP |=clock):")
+    print("  " + "".join(_GLYPH[k] for k in grid.kinds()), "\n")
+
+    pattern = (ColumnKind.CLBLL, ColumnKind.CLBLM)
+    anchors = grid.compatible_x_anchors(pattern)
+    print(f"a block spanning [CLBLL, CLBLM] can relocate to x = {anchors}\n")
+
+    # PBlock quantization: a LUTRAM-heavy module is M-column-driven, so
+    # shrinking the CF below 1 changes nothing — its minimal CF is low.
+    module = LutramGenerator().build("explore_mem", width=48, depth=256)
+    stats = compute_stats(synthesize(module))
+    report = quick_place(stats)
+    print(f"module {stats.name}: est {report.est_slices} slices, "
+          f"{stats.n_lutram} LUTRAM sites")
+    for cf in (0.6, 0.9, 1.2, 1.5):
+        pb = build_pblock(stats, report, cf, grid)
+        print(f"  CF={cf:.1f}: {pb.describe()}")
+    print(
+        "\n-> the M-column requirement keeps the PBlock wide regardless of "
+        "CF; that is why BRAM/LUTRAM-driven modules show minimal CFs below "
+        "0.7 in Fig. 4."
+    )
+
+
+if __name__ == "__main__":
+    main()

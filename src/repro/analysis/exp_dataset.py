@@ -1,0 +1,117 @@
+"""Fig. 7 (design-space coverage) and Fig. 8 (balanced CF distribution)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.context import ExperimentContext
+from repro.dataset.balance import cf_histogram
+from repro.utils.tables import Table
+
+__all__ = ["Fig7Result", "Fig8Result", "run_fig7_coverage", "run_fig8_balance"]
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Coverage of the (LUT, FF, carry) design space by the RTL dataset."""
+
+    n_modules: int
+    max_luts: int
+    max_ffs: int
+    max_carry: int
+    lut_quartiles: tuple[float, float, float]
+    ff_quartiles: tuple[float, float, float]
+    carry_quartiles: tuple[float, float, float]
+    family_counts: dict[str, int]
+
+    def render(self) -> str:
+        t = Table(
+            ["axis", "q25", "median", "q75", "max"],
+            title="Fig. 7: dataset design-space coverage",
+        )
+        t.add_row(["LUTs", *self.lut_quartiles, self.max_luts])
+        t.add_row(["FFs", *self.ff_quartiles, self.max_ffs])
+        t.add_row(["Carry", *self.carry_quartiles, self.max_carry])
+        fams = ", ".join(f"{k}={v}" for k, v in sorted(self.family_counts.items()))
+        return t.render() + f"\n{self.n_modules} modules; families: {fams}"
+
+
+def run_fig7_coverage(ctx: ExperimentContext) -> Fig7Result:
+    """Summarize the generated dataset's resource-usage spread.
+
+    The paper's dataset tops out around 5,000 LUTs (11% of the device)
+    because RW's speed-ups come from small, highly reused blocks.
+    """
+    records, _ = ctx.dataset()
+    luts = np.array([r.stats.n_lut for r in records])
+    ffs = np.array([r.stats.n_ff for r in records])
+    carry = np.array([r.stats.n_carry4 for r in records])
+
+    def q(a: np.ndarray) -> tuple[float, float, float]:
+        if a.size == 0:
+            return (0.0, 0.0, 0.0)
+        return tuple(float(np.percentile(a, p)) for p in (25, 50, 75))
+
+    fams: dict[str, int] = {}
+    for r in records:
+        fams[r.family] = fams.get(r.family, 0) + 1
+    return Fig7Result(
+        n_modules=len(records),
+        max_luts=int(luts.max()) if luts.size else 0,
+        max_ffs=int(ffs.max()) if ffs.size else 0,
+        max_carry=int(carry.max()) if carry.size else 0,
+        lut_quartiles=q(luts),
+        ff_quartiles=q(ffs),
+        carry_quartiles=q(carry),
+        family_counts=fams,
+    )
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """CF distribution before and after balancing (cap = 75/bin)."""
+
+    n_raw: int
+    n_balanced: int
+    cap_per_bin: int
+    raw_histogram: dict[float, int]
+    balanced_histogram: dict[float, int]
+    cf_min: float
+    cf_max: float
+
+    def render(self) -> str:
+        t = Table(
+            ["CF", "raw", "balanced"],
+            title="Fig. 8: input-data distribution over the correction factor",
+        )
+        for cf in sorted(set(self.raw_histogram) | set(self.balanced_histogram)):
+            t.add_row(
+                [
+                    f"{cf:.2f}",
+                    self.raw_histogram.get(cf, 0),
+                    self.balanced_histogram.get(cf, 0),
+                ]
+            )
+        return (
+            t.render()
+            + f"\n{self.n_raw} -> {self.n_balanced} samples "
+            f"(cap {self.cap_per_bin}/bin), CF in [{self.cf_min:.2f}, {self.cf_max:.2f}]"
+        )
+
+
+def run_fig8_balance(ctx: ExperimentContext) -> Fig8Result:
+    """Reproduce the paper's 2,000 -> ~1,500 balancing step."""
+    records, _ = ctx.dataset()
+    balanced = ctx.balanced()
+    cfs = [r.min_cf for r in balanced]
+    return Fig8Result(
+        n_raw=len(records),
+        n_balanced=len(balanced),
+        cap_per_bin=ctx.cap_per_bin,
+        raw_histogram=cf_histogram(records),
+        balanced_histogram=cf_histogram(balanced),
+        cf_min=min(cfs),
+        cf_max=max(cfs),
+    )

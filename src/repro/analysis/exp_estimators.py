@@ -1,0 +1,195 @@
+"""Table II (estimator errors), Fig. 9 (DT feature importance) and
+Fig. 10 (predicted vs actual CF per feature set)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.context import ExperimentContext
+from repro.estimator.cf_estimator import CFEstimator
+from repro.features.registry import extract_matrix, feature_names
+from repro.ml.metrics import mean_relative_error
+from repro.ml.split import train_test_split
+from repro.utils.tables import Table
+
+__all__ = [
+    "Table2Result",
+    "Fig9Result",
+    "Fig10Result",
+    "run_table2_errors",
+    "run_fig9_importance",
+    "run_fig10_pred_vs_actual",
+]
+
+#: Feature sets of Table II, in column order.
+TABLE2_SETS = ("classical", "classical_placement", "additional", "all")
+
+
+def _split(ctx: ExperimentContext) -> tuple[np.ndarray, np.ndarray]:
+    balanced = ctx.balanced()
+    return train_test_split(len(balanced), test_fraction=0.2, seed=ctx.seed)
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Relative test errors of the four estimators per feature set."""
+
+    dt_errors: dict[str, float]
+    rf_errors: dict[str, float]
+    nn_error_all: float
+    linreg_error: float
+    n_train: int
+    n_test: int
+
+    def render(self) -> str:
+        t = Table(
+            ["Features", "Classical", "Classical*", "Additional", "All"],
+            float_fmt="{:.1f}",
+            title="Table II: relative error of the proposed estimators (%)",
+        )
+        t.add_row(
+            ["Decision Tree"] + [self.dt_errors[s] * 100 for s in TABLE2_SETS]
+        )
+        t.add_row(
+            ["Random Forest"] + [self.rf_errors[s] * 100 for s in TABLE2_SETS]
+        )
+        t.add_row(["Neural Network", None, None, None, self.nn_error_all * 100])
+        return (
+            t.render()
+            + f"\nLinear regression (9 inputs): {self.linreg_error * 100:.1f}% | "
+            f"train/test = {self.n_train}/{self.n_test}"
+        )
+
+
+def run_table2_errors(ctx: ExperimentContext) -> Table2Result:
+    """Reproduce Table II: DT/RF across all feature sets, NN on all
+    features, and the linear-regression baseline."""
+    balanced = ctx.balanced()
+    tr, te = _split(ctx)
+    train = [balanced[i] for i in tr]
+    test = [balanced[i] for i in te]
+    y_test = np.array([r.min_cf for r in test])
+
+    dt_errors: dict[str, float] = {}
+    rf_errors: dict[str, float] = {}
+    for fs in TABLE2_SETS:
+        dt = CFEstimator(kind="dt", feature_set=fs, seed=ctx.seed).fit(train)
+        dt_errors[fs] = mean_relative_error(y_test, dt.predict_many(test))
+        rf = CFEstimator(
+            kind="rf", feature_set=fs, seed=ctx.seed, rf_trees=ctx.rf_trees
+        ).fit(train)
+        rf_errors[fs] = mean_relative_error(y_test, rf.predict_many(test))
+
+    nn = CFEstimator(kind="nn", feature_set="all", seed=ctx.seed).fit(train)
+    nn_error = mean_relative_error(y_test, nn.predict_many(test))
+
+    lin = CFEstimator(kind="linreg", feature_set="linreg9", seed=ctx.seed).fit(train)
+    lin_error = mean_relative_error(y_test, lin.predict_many(test))
+
+    return Table2Result(
+        dt_errors=dt_errors,
+        rf_errors=rf_errors,
+        nn_error_all=nn_error,
+        linreg_error=lin_error,
+        n_train=len(train),
+        n_test=len(test),
+    )
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """DT impurity importances per feature set (sums to 1 per set)."""
+
+    importances: dict[str, dict[str, float]]
+
+    def render(self) -> str:
+        lines = ["Fig. 9: DT feature importance per feature set"]
+        for fs, imps in self.importances.items():
+            ranked = sorted(imps.items(), key=lambda kv: -kv[1])
+            row = ", ".join(f"{n}={v:.2f}" for n, v in ranked if v > 0.01)
+            lines.append(f"  {fs}: {row}")
+        return "\n".join(lines)
+
+    def top_feature(self, feature_set: str) -> tuple[str, float]:
+        """Most important feature of one set."""
+        imps = self.importances[feature_set]
+        name = max(imps, key=imps.get)
+        return name, imps[name]
+
+
+def run_fig9_importance(ctx: ExperimentContext) -> Fig9Result:
+    """Reproduce Fig. 9: relative features dominate; Carry/All is the
+    single strongest signal (paper: 0.5 within "additional", 0.4 within
+    "all")."""
+    balanced = ctx.balanced()
+    tr, _ = _split(ctx)
+    train = [balanced[i] for i in tr]
+    importances: dict[str, dict[str, float]] = {}
+    for fs in TABLE2_SETS:
+        dt = CFEstimator(kind="dt", feature_set=fs, seed=ctx.seed).fit(train)
+        importances[fs] = dict(
+            zip(feature_names(fs), (float(v) for v in dt.feature_importances_))
+        )
+    return Fig9Result(importances=importances)
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Predicted vs actual CF on the test set, per feature set (RF)."""
+
+    actual: np.ndarray
+    predictions: dict[str, np.ndarray]
+
+    def high_cf_error(self, feature_set: str, threshold: float = 1.4) -> float:
+        """Mean relative error restricted to high CFs — the region where
+        the paper observes classical features fail."""
+        mask = self.actual >= threshold
+        if not mask.any():
+            return float("nan")
+        return mean_relative_error(
+            self.actual[mask], self.predictions[feature_set][mask]
+        )
+
+    def render(self) -> str:
+        from repro.utils.plots import ascii_scatter
+
+        t = Table(
+            ["feature set", "overall err %", "err % @ CF>=1.4"],
+            float_fmt="{:.1f}",
+            title="Fig. 10: predicted vs actual CF (RF, test set)",
+        )
+        for fs, pred in self.predictions.items():
+            t.add_row(
+                [
+                    fs,
+                    mean_relative_error(self.actual, pred) * 100,
+                    self.high_cf_error(fs) * 100,
+                ]
+            )
+        scatter = ascii_scatter(
+            list(self.actual),
+            list(self.predictions["additional"]),
+            diagonal=True,
+            title='predicted (y) vs actual (x) CF, "additional" features '
+            "(diagonal = perfect)",
+        )
+        return t.render() + "\n\n" + scatter
+
+
+def run_fig10_pred_vs_actual(ctx: ExperimentContext) -> Fig10Result:
+    """Reproduce Fig. 10's series: per-feature-set predictions against the
+    true minimal CF, highlighting the high-CF region."""
+    balanced = ctx.balanced()
+    tr, te = _split(ctx)
+    train = [balanced[i] for i in tr]
+    test = [balanced[i] for i in te]
+    _, y_test = extract_matrix(test, "all")
+    preds: dict[str, np.ndarray] = {}
+    for fs in TABLE2_SETS:
+        rf = CFEstimator(
+            kind="rf", feature_set=fs, seed=ctx.seed, rf_trees=ctx.rf_trees
+        ).fit(train)
+        preds[fs] = rf.predict_many(test)
+    return Fig10Result(actual=y_test, predictions=preds)

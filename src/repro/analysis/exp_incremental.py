@@ -1,0 +1,125 @@
+"""Incremental-recompilation study (the paper's §I motivation).
+
+The reason pre-implemented-block flows exist: during design-space
+exploration, an NN architecture change touches a few modules, and a
+RapidWright-style flow only re-implements those, while a monolithic flow
+recompiles the whole design.  This experiment modifies one cnvW1A1 layer
+(a new MVAU folding for layer 5), recompiles under both flows and
+compares the implementation effort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.context import ExperimentContext
+from repro.cnv.blocks import build_block
+from repro.flow.blockdesign import BlockDesign
+from repro.flow.policy import CFPolicy, FixedCF
+from repro.flow.preimpl import ImplementedModule, implement_module
+from repro.utils.tables import Table
+
+__all__ = ["IncrementalResult", "run_incremental_study", "modify_module"]
+
+
+def modify_module(design: BlockDesign, module: str, new_scale: float) -> BlockDesign:
+    """Clone ``design`` with one module's configuration changed.
+
+    Models one DSE step: the block keeps its interface (instances and
+    edges are preserved) but its implementation differs, so its cached
+    pre-implementation is invalid.
+    """
+    if module not in design.modules:
+        raise KeyError(f"unknown module {module!r}")
+    old = design.modules[module]
+    family = old.family.split("_", 1)[-1] if old.family.startswith("cnv_") else None
+    if family is None:
+        raise ValueError(f"{module} is not a cnv block")
+    clone = BlockDesign(name=design.name + "+mod")
+    for name, mod in design.modules.items():
+        if name == module:
+            clone.add_module(build_block(family, name, new_scale))
+        else:
+            clone.add_module(mod)
+    for inst in design.instances:
+        clone.add_instance(inst.name, inst.module)
+    for e in design.edges:
+        clone.connect(e.src, e.dst, width=e.width)
+    return clone
+
+
+@dataclass(frozen=True)
+class IncrementalResult:
+    """Effort comparison for one design change.
+
+    "Effort" is the sum of implemented module slice demands — a proxy for
+    place-and-route runtime that is independent of the host machine.
+    """
+
+    changed_modules: tuple[str, ...]
+    full_effort: int
+    incremental_effort: int
+    full_runs: int
+    incremental_runs: int
+
+    @property
+    def effort_speedup(self) -> float:
+        """Full recompilation effort / incremental effort."""
+        return (
+            self.full_effort / self.incremental_effort
+            if self.incremental_effort
+            else float("inf")
+        )
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Share of implementation effort served from the cache."""
+        return 1.0 - self.incremental_effort / self.full_effort
+
+    def render(self) -> str:
+        t = Table(["flow", "modules implemented", "effort (slices)"],
+                  title="incremental recompilation after one layer change")
+        t.add_row(["monolithic (recompile all)", self.full_runs, self.full_effort])
+        t.add_row(
+            ["RW-style (cache hit)", self.incremental_runs, self.incremental_effort]
+        )
+        return (
+            t.render()
+            + f"\nchanged: {', '.join(self.changed_modules)} | "
+            f"effort speedup {self.effort_speedup:.1f}x, "
+            f"reuse {self.reuse_fraction * 100:.1f}%"
+        )
+
+
+def run_incremental_study(
+    ctx: ExperimentContext,
+    module: str = "mvau_12",
+    new_scale: float = 2.4,
+    policy: CFPolicy | None = None,
+) -> IncrementalResult:
+    """Change one cnvW1A1 module and compare recompilation effort."""
+    policy = policy or FixedCF(1.7)
+    base = ctx.design()
+    changed = modify_module(base, module, new_scale)
+
+    # Pre-implement the base design once — this is the cache.
+    cache: dict[str, ImplementedModule] = {}
+    full_effort = 0
+    for name, mod in changed.modules.items():
+        if name != module:
+            # Unchanged modules: the cached implementation of the base
+            # design is reused verbatim.
+            cache[name] = implement_module(base.modules[name], ctx.z020, policy)
+            full_effort += cache[name].outcome.result.demand_slices
+
+    impl_new = implement_module(changed.modules[module], ctx.z020, policy)
+    new_effort = impl_new.outcome.result.demand_slices
+    full_effort += new_effort
+
+    return IncrementalResult(
+        changed_modules=(module,),
+        full_effort=full_effort,
+        incremental_effort=new_effort,
+        full_runs=changed.n_unique,
+        incremental_runs=1,
+    )

@@ -1,0 +1,84 @@
+"""§VI-C resolution ablation: how the CF search step interacts with module
+size.
+
+The paper observes that sub-100-LUT modules gain nothing from steps finer
+than 0.1 (the PBlock cannot change for <10% increments at a constant
+aspect ratio), while ~2,500-LUT modules need 0.03 or finer; 0.02 is chosen
+because 85% of the dataset is smaller than that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.context import ExperimentContext
+from repro.pblock.cf_search import minimal_cf, recommended_step
+from repro.utils.tables import Table
+
+__all__ = ["ResolutionResult", "run_resolution_study"]
+
+_STEPS = (0.1, 0.05, 0.02)
+_SIZE_BINS = ((0, 100), (100, 1000), (1000, 10**9))
+
+
+@dataclass(frozen=True)
+class ResolutionResult:
+    """Mean CF over-shoot of coarse steps relative to the 0.02 sweep,
+    per module-size bin."""
+
+    overshoot: dict[tuple[int, int], dict[float, float]]
+    n_per_bin: dict[tuple[int, int], int]
+    frac_below_2500_luts: float
+
+    def render(self) -> str:
+        t = Table(
+            ["LUT range", "n", *[f"step {s}" for s in _STEPS]],
+            float_fmt="{:.3f}",
+            title="§VI-C: CF overshoot vs search step (relative to 0.02)",
+        )
+        for bin_, per_step in self.overshoot.items():
+            label = f"{bin_[0]}-{bin_[1] if bin_[1] < 10**9 else 'inf'}"
+            t.add_row([label, self.n_per_bin[bin_], *[per_step[s] for s in _STEPS]])
+        return (
+            t.render()
+            + f"\nfraction of dataset under 2,500 LUTs: "
+            f"{self.frac_below_2500_luts * 100:.0f}% (paper: 85%)"
+        )
+
+
+def run_resolution_study(
+    ctx: ExperimentContext, n_samples: int = 150
+) -> ResolutionResult:
+    """Sweep a dataset subsample at several step sizes and measure how
+    much CF (hence PBlock area) each coarse step gives away per size bin.
+    """
+    records, _ = ctx.dataset()
+    subsample = records[:n_samples]
+
+    overshoot: dict[tuple[int, int], dict[float, list[float]]] = {
+        b: {s: [] for s in _STEPS} for b in _SIZE_BINS
+    }
+    n_per_bin = {b: 0 for b in _SIZE_BINS}
+    for rec in subsample:
+        n_luts = rec.stats.n_lut
+        bin_ = next(b for b in _SIZE_BINS if b[0] <= n_luts < b[1])
+        n_per_bin[bin_] += 1
+        for step in _STEPS:
+            found = minimal_cf(
+                rec.stats, ctx.z020, step=step, report=rec.report
+            )
+            overshoot[bin_][step].append(found.cf - rec.min_cf)
+
+    means = {
+        b: {s: float(np.mean(v)) if v else 0.0 for s, v in per.items()}
+        for b, per in overshoot.items()
+    }
+    luts = np.array([r.stats.n_lut for r in records])
+    assert recommended_step(50) >= recommended_step(2500)  # §VI-C rule sanity
+    return ResolutionResult(
+        overshoot=means,
+        n_per_bin=n_per_bin,
+        frac_below_2500_luts=float(np.mean(luts < 2500)),
+    )

@@ -1,0 +1,141 @@
+"""Table I and Fig. 3: per-block slices/timing vs PBlock tightness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.context import ExperimentContext
+from repro.cnv.design import cnv_module_stats
+from repro.flow.monolithic import monolithic_flow
+from repro.flow.policy import FixedCF
+from repro.pblock.cf_search import minimal_cf
+from repro.place.quick import quick_place
+from repro.route.timing import longest_path
+from repro.utils.tables import Table
+
+__all__ = ["Table1Row", "Table1Result", "run_table1", "Fig3Result", "run_fig3_footprints"]
+
+#: The two modules Table I examines.
+TABLE1_MODULES = ("mvau_18", "weights_14")
+#: The loose constant CF of Table I.
+TABLE1_LOOSE_CF = 1.5
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One module's row of Table I."""
+
+    module: str
+    slices_cf15: int
+    slices_min: int
+    min_cf: float
+    path_cf15_ns: float
+    path_min_ns: float
+    slices_amd: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """All rows plus the flat-flow context."""
+
+    rows: tuple[Table1Row, ...]
+    amd_utilization: float
+
+    def render(self) -> str:
+        t = Table(
+            [
+                "module",
+                "RW slices CF=1.5",
+                "RW slices CF=min",
+                "min CF",
+                "path CF=1.5 (ns)",
+                "path CF=min (ns)",
+                "AMD EDA slices",
+            ],
+            title="Table I: synthesis results of the cnvW1A1",
+        )
+        for r in self.rows:
+            t.add_row(
+                [
+                    r.module,
+                    r.slices_cf15,
+                    r.slices_min,
+                    f"{r.min_cf:.2f}",
+                    r.path_cf15_ns,
+                    r.path_min_ns,
+                    ",".join(str(s) for s in r.slices_amd),
+                ]
+            )
+        return (
+            t.render()
+            + f"\nAMD-EDA flat flow utilization: {self.amd_utilization * 100:.2f}%"
+        )
+
+
+def run_table1(ctx: ExperimentContext) -> Table1Result:
+    """Reproduce Table I: the same module implemented at CF 1.5, at its
+    minimal feasible CF, and by the flat flow."""
+    design = ctx.design()
+    mono = monolithic_flow(design, ctx.z020)
+    stats_by_name = cnv_module_stats()
+
+    rows = []
+    for name in TABLE1_MODULES:
+        stats = stats_by_name[name]
+        report = quick_place(stats)
+        loose = FixedCF(TABLE1_LOOSE_CF).choose(stats, report, ctx.z020)
+        tight = minimal_cf(stats, ctx.z020, search_down=True, report=report)
+        rows.append(
+            Table1Row(
+                module=name,
+                slices_cf15=loose.result.used_slices,
+                slices_min=tight.result.used_slices,
+                min_cf=tight.cf,
+                path_cf15_ns=longest_path(stats, loose.result, loose.pblock).total_ns,
+                path_min_ns=longest_path(stats, tight.result, tight.pblock).total_ns,
+                slices_amd=tuple(mono.module_slices(design, name)),
+            )
+        )
+    return Table1Result(rows=tuple(rows), amd_utilization=mono.utilization)
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Footprint regularity of the Fig. 3 modules at loose vs minimal CF."""
+
+    module: str
+    rect_cf15: float
+    rect_min: float
+    bbox_cf15: int
+    bbox_min: int
+
+    def render(self) -> str:
+        return (
+            f"{self.module}: rectangularity {self.rect_cf15:.2f} (CF=1.5) -> "
+            f"{self.rect_min:.2f} (CF=min); bbox {self.bbox_cf15} -> "
+            f"{self.bbox_min} CLBs"
+        )
+
+
+def run_fig3_footprints(ctx: ExperimentContext) -> list[Fig3Result]:
+    """Reproduce Fig. 3's contrast: loose PBlocks yield irregular
+    footprints, minimal ones near-rectangles."""
+    out = []
+    stats_by_name = cnv_module_stats()
+    for name in TABLE1_MODULES:
+        stats = stats_by_name[name]
+        report = quick_place(stats)
+        loose = FixedCF(TABLE1_LOOSE_CF).choose(stats, report, ctx.z020)
+        tight = minimal_cf(stats, ctx.z020, search_down=True, report=report)
+        fp_l = loose.result.footprint.trimmed()
+        fp_t = tight.result.footprint.trimmed()
+        out.append(
+            Fig3Result(
+                module=name,
+                rect_cf15=fp_l.rectangularity,
+                rect_min=fp_t.rectangularity,
+                bbox_cf15=fp_l.bbox_clbs,
+                bbox_min=fp_t.bbox_clbs,
+            )
+        )
+    return out

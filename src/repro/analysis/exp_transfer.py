@@ -1,0 +1,86 @@
+"""Cross-device transfer study (extension).
+
+The minimal CF depends on the target device through PBlock quantization
+(column availability, device height clamping).  The paper trains and
+evaluates on one family member; this study asks whether an estimator
+trained on xc7z020 labels transfers to the *smaller* xc7z010 — the
+direction where the device actually constrains PBlocks (tall modules
+clamp against the 100-row fabric).  Within the 7-series family the
+column unit repeats, so the expected finding is near-perfect transfer
+with small shifts confined to tall/carry-heavy modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.context import ExperimentContext
+from repro.estimator.cf_estimator import CFEstimator
+from repro.features.registry import ModuleRecord, make_record
+from repro.ml.metrics import mean_relative_error
+from repro.pblock.cf_search import InfeasibleModuleError, minimal_cf
+from repro.utils.tables import Table
+
+__all__ = ["TransferResult", "run_transfer_study"]
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Transfer errors between device targets (z020 -> z010)."""
+
+    in_device_error: float
+    cross_device_error: float
+    label_shift: float
+    n_test: int
+
+    def render(self) -> str:
+        t = Table(["setting", "value"], float_fmt="{:.3f}",
+                  title="cross-device transfer (train xc7z020 -> test xc7z010)")
+        t.add_row(["RF error on xc7z020 labels", f"{self.in_device_error * 100:.1f}%"])
+        t.add_row(["RF error on xc7z010 labels", f"{self.cross_device_error * 100:.1f}%"])
+        t.add_row(["mean |CF(z010) - CF(z020)|", f"{self.label_shift:.3f}"])
+        t.add_row(["test modules", self.n_test])
+        return t.render()
+
+
+def run_transfer_study(
+    ctx: ExperimentContext, n_test: int = 120
+) -> TransferResult:
+    """Train on the xc7z020-labeled dataset; evaluate on both devices'
+    labels for a held-out subsample (modules infeasible on the small
+    device are skipped)."""
+    balanced = ctx.balanced()
+    rf = CFEstimator(
+        kind="rf", feature_set="additional", seed=ctx.seed, rf_trees=ctx.rf_trees
+    ).fit(balanced)
+
+    records, _ = ctx.dataset()
+    test = records[-n_test:]
+    z20 = np.array([r.min_cf for r in test])
+    preds = rf.predict_many(test)
+
+    small_records: list[ModuleRecord] = []
+    small_labels: list[float] = []
+    kept_z20: list[float] = []
+    kept_pred: list[float] = []
+    for rec, label20, pred in zip(test, z20, preds):
+        try:
+            found = minimal_cf(rec.stats, ctx.z010, report=rec.report)
+        except InfeasibleModuleError:
+            continue
+        small_records.append(make_record(rec.stats, rec.report, min_cf=found.cf))
+        small_labels.append(found.cf)
+        kept_z20.append(label20)
+        kept_pred.append(pred)
+
+    z010_arr = np.array(small_labels)
+    z020_arr = np.array(kept_z20)
+    pred_arr = np.array(kept_pred)
+    return TransferResult(
+        in_device_error=mean_relative_error(z020_arr, pred_arr),
+        cross_device_error=mean_relative_error(z010_arr, pred_arr),
+        label_shift=float(np.mean(np.abs(z010_arr - z020_arr))),
+        n_test=len(z010_arr),
+    )

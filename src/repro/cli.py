@@ -1,0 +1,194 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro device [part]              # fabric summary
+    python -m repro cnv                        # cnvW1A1 design summary
+    python -m repro mincf <family> [opts]      # minimal CF of one module
+    python -m repro dataset -n 500 -o ds.npz   # generate + save a dataset
+    python -m repro train -d ds.npz -o est.json  # train a CF estimator
+    python -m repro report [-n 2000] [-o EXPERIMENTS.md]  # all experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tailored PBlock sizes for CNN-to-FPGA macro flows "
+        "(IPPS 2025 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_dev = sub.add_parser("device", help="print a part's fabric summary")
+    p_dev.add_argument("part", nargs="?", default="xc7z020")
+
+    sub.add_parser("cnv", help="print the cnvW1A1 block-design summary")
+
+    p_exp = sub.add_parser(
+        "export-design", help="save the cnvW1A1 block design as JSON"
+    )
+    p_exp.add_argument("-o", "--output", default="cnvW1A1.json")
+
+    p_min = sub.add_parser("mincf", help="minimal CF of one generated module")
+    p_min.add_argument("family", choices=["shiftreg", "lutram", "carry", "lfsr", "mixed"])
+    p_min.add_argument("--seed", type=int, default=0)
+    p_min.add_argument("--part", default="xc7z020")
+
+    p_ds = sub.add_parser("dataset", help="generate and save a labeled dataset")
+    p_ds.add_argument("-n", "--n-modules", type=int, default=500)
+    p_ds.add_argument("--seed", type=int, default=0)
+    p_ds.add_argument("--cap", type=int, default=75, help="balance cap per CF bin")
+    p_ds.add_argument("-o", "--output", default="cf_dataset.npz")
+
+    p_tr = sub.add_parser("train", help="train a CF estimator on a saved dataset")
+    p_tr.add_argument("-d", "--dataset", required=True)
+    p_tr.add_argument("--kind", choices=["linreg", "dt", "rf", "nn"], default="rf")
+    p_tr.add_argument("--features", default="additional")
+    p_tr.add_argument("--rf-trees", type=int, default=200)
+    p_tr.add_argument("-o", "--output", default="cf_estimator.json")
+
+    p_rep = sub.add_parser("report", help="run every experiment, emit Markdown")
+    p_rep.add_argument("-n", "--n-modules", type=int, default=800)
+    p_rep.add_argument("--rf-trees", type=int, default=120)
+    p_rep.add_argument("--sa-iters", type=int, default=40000)
+    p_rep.add_argument("--seed", type=int, default=0)
+    p_rep.add_argument("-o", "--output", default=None, help="write to file")
+    return parser
+
+
+def _cmd_device(args: argparse.Namespace) -> int:
+    from repro.device import make_part
+
+    grid = make_part(args.part)
+    print(grid.summary())
+    caps = grid.device_caps()
+    print(f"  LUT sites: {caps.luts}, FF sites: {caps.ffs}")
+    print(f"  clock spine at x = {grid.clock_column_xs()}")
+    return 0
+
+
+def _cmd_cnv(_args: argparse.Namespace) -> int:
+    from repro.cnv import cnv_design
+    from repro.cnv.partition import block_inventory
+    from repro.flow.analysis_graph import analyze_design
+
+    design = cnv_design()
+    print(design.summary())
+    counts = design.instance_counts().most_common(5)
+    print("  top reuse:", ", ".join(f"{m}x{n}" for m, n in counts))
+    largest = max(block_inventory(), key=lambda b: b.target_slices)
+    print(f"  largest block: {largest.module} (~{largest.target_slices} slices)")
+    print("  graph:", analyze_design(design).render())
+    return 0
+
+
+def _cmd_export_design(args: argparse.Namespace) -> int:
+    from repro.cnv import cnv_design
+    from repro.flow.design_io import save_design
+
+    save_design(cnv_design(), args.output)
+    print(f"cnvW1A1 design written to {args.output}")
+    return 0
+
+
+def _cmd_mincf(args: argparse.Namespace) -> int:
+    from repro.device import make_part
+    from repro.netlist import compute_stats
+    from repro.pblock import minimal_cf
+    from repro.rtlgen import all_generators
+    from repro.synth import synthesize
+    from repro.utils.rng import stream
+
+    gen = all_generators()[args.family]
+    module = gen.sample(stream(args.seed, "cli", args.family), args.seed)
+    stats = compute_stats(synthesize(module))
+    found = minimal_cf(stats, make_part(args.part), search_down=True)
+    print(f"module {module.name}: minimal CF = {found.cf:.2f} "
+          f"({found.n_runs} tool runs)")
+    print(f"  {found.pblock.describe()}")
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.dataset import balance_dataset, generate_dataset, save_dataset_arrays
+
+    records, report = generate_dataset(args.n_modules, seed=args.seed)
+    balanced = balance_dataset(records, cap_per_bin=args.cap, seed=args.seed)
+    save_dataset_arrays(balanced, args.output)
+    print(
+        f"{report.n_labeled} labeled ({report.n_trivial} trivial, "
+        f"{report.n_infeasible} infeasible) -> {len(balanced)} balanced "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.dataset.io import load_dataset_arrays
+    from repro.estimator.cf_estimator import CFEstimator
+    from repro.ml.metrics import mean_relative_error
+    from repro.ml.split import train_test_split
+
+    X, y, _names, _fams = load_dataset_arrays(args.dataset, args.features)
+    tr, te = train_test_split(len(y), 0.2, seed=0)
+    est = CFEstimator(kind=args.kind, feature_set=args.features,
+                      rf_trees=args.rf_trees)
+    est.model.fit(X[tr], y[tr])
+    est._fitted = True
+    err = mean_relative_error(y[te], est.model.predict(X[te]))
+    est.save(args.output)
+    print(
+        f"{args.kind}({args.features}): test relative error "
+        f"{err * 100:.1f}% on {len(te)} samples -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.context import ExperimentContext
+    from repro.analysis.report import generate_report
+    from repro.flow.stitcher import SAParams
+
+    ctx = ExperimentContext(
+        seed=args.seed, n_modules=args.n_modules, rf_trees=args.rf_trees
+    )
+    text = generate_report(ctx, SAParams(max_iters=args.sa_iters, seed=args.seed))
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "device": _cmd_device,
+    "cnv": _cmd_cnv,
+    "export-design": _cmd_export_design,
+    "mincf": _cmd_mincf,
+    "dataset": _cmd_dataset,
+    "train": _cmd_train,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

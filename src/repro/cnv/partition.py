@@ -1,0 +1,165 @@
+"""cnvW1A1 partitioning inventory (paper §III).
+
+The design is partitioned at sub-layer granularity — separate blocks for
+the MVAU, sliding-window, activation/threshold and max-pool units — so the
+placed-and-routed netlist of one block is reused across all its identical
+instances.  The inventory below reproduces the published structure:
+
+* 175 block instances of 74 unique modules;
+* the layer-1/2 MVAU configuration appears 48 times, the layer-3/4 one
+  20 times; ``mvau_18`` has four instances;
+* ``weights_14`` is the largest block;
+* per-block slice budgets total ~99% of the xc7z020 (the paper's design
+  uses 99.98% of the device slices under the flat flow).
+
+Budgets are *flat-flow* ("AMD EDA") slices; the calibration in
+:mod:`repro.cnv.design` converts them to packer demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BlockSpec", "block_inventory", "total_target_slices", "LAYER_ORDER"]
+
+#: Processing order of the pipeline stages blocks belong to.
+LAYER_ORDER: tuple[str, ...] = (
+    "in",
+    "L0",
+    "L1",
+    "P0",
+    "L2",
+    "L3",
+    "P1",
+    "L4",
+    "L5",
+    "FC0",
+    "FC1",
+    "FC2",
+    "out",
+)
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One unique module of the partitioned design.
+
+    Attributes
+    ----------
+    module:
+        Module name (e.g. ``"mvau_18"``).
+    kind:
+        Builder key in :data:`repro.cnv.blocks.BLOCK_BUILDERS`.
+    target_slices:
+        Flat-flow slice budget per instance.
+    n_instances:
+        How many times the block is instantiated.
+    layer:
+        Pipeline stage the instances belong to.
+    extra:
+        Builder extras (e.g. ``{"n_bram": 4}``).
+    """
+
+    module: str
+    kind: str
+    target_slices: int
+    n_instances: int
+    layer: str
+    extra: dict = field(default_factory=dict)
+
+    def instance_names(self) -> list[str]:
+        """Instance names: the module name itself, or ``<module>__iK``."""
+        if self.n_instances == 1:
+            return [self.module]
+        return [f"{self.module}__i{k}" for k in range(self.n_instances)]
+
+
+def _weights(idx: int, target: int, layer: str, n_bram: int = 0) -> BlockSpec:
+    return BlockSpec(
+        module=f"weights_{idx}",
+        kind="weights",
+        target_slices=target,
+        n_instances=1,
+        layer=layer,
+        extra={"n_bram": n_bram} if n_bram else {},
+    )
+
+
+def block_inventory() -> list[BlockSpec]:
+    """The full cnvW1A1 inventory (74 unique modules, 175 instances)."""
+    inv: list[BlockSpec] = []
+
+    # --- input path -----------------------------------------------------
+    inv.append(BlockSpec("dma_in", "dma", 45, 1, "in"))
+    inv.append(BlockSpec("fifo_s0", "fifo", 15, 1, "in"))
+    inv.append(BlockSpec("pad_0", "misc", 12, 1, "in"))
+
+    # --- convolutional layers -------------------------------------------
+    # L0: conv 3->64; a single small MVAU.
+    inv.append(BlockSpec("swu_0", "swu", 160, 1, "L0"))
+    inv.append(BlockSpec("mvau_0", "mvau", 45, 1, "L0"))
+    inv.extend(_weights(i, 40, "L0") for i in range(0, 3))
+    inv.append(BlockSpec("wc_0", "wc", 25, 1, "L0"))
+    inv.append(BlockSpec("fifo_s1", "fifo", 15, 1, "L0"))
+
+    # L1 / L2: conv 64->64 and 64->128 share the MVAU configuration
+    # (48 identical instances, paper §III).
+    inv.append(BlockSpec("swu_1", "swu", 150, 1, "L1"))
+    inv.append(BlockSpec("mvau_2", "mvau", 54, 48, "L1+L2"))
+    inv.extend(_weights(i, 85, "L1") for i in range(3, 9))
+    inv.append(BlockSpec("wc_1", "wc", 25, 1, "L1"))
+    inv.append(BlockSpec("pool_0", "pool", 75, 1, "P0"))
+
+    inv.append(BlockSpec("swu_2", "swu", 120, 1, "L2"))
+    inv.extend(_weights(i, 85, "L2") for i in range(9, 14))
+    inv.append(BlockSpec("wc_2", "wc", 25, 1, "L2"))
+    inv.append(BlockSpec("fifo_s2", "fifo", 15, 1, "L2"))
+
+    # L3 / L4: conv 128->128 and 128->256 share the MVAU (20 instances).
+    inv.append(BlockSpec("swu_3", "swu", 110, 1, "L3"))
+    inv.append(BlockSpec("mvau_8", "mvau", 85, 20, "L3+L4"))
+    # weights_14 is the design's largest block (Table I: 1430 slices in
+    # the flat flow).
+    inv.append(_weights(14, 1430, "L3", n_bram=4))
+    inv.extend(_weights(i, 90, "L3") for i in range(15, 19))
+    inv.append(BlockSpec("wc_3", "wc", 25, 1, "L3"))
+    inv.append(BlockSpec("pool_1", "pool", 65, 1, "P1"))
+
+    inv.append(BlockSpec("swu_4", "swu", 100, 1, "L4"))
+    inv.extend(_weights(i, 95, "L4") for i in range(19, 24))
+    inv.append(BlockSpec("wc_4", "wc", 25, 1, "L4"))
+    inv.append(BlockSpec("fifo_s3", "fifo", 15, 1, "L4"))
+
+    # L5: conv 256->256.
+    inv.append(BlockSpec("swu_5", "swu", 90, 1, "L5"))
+    inv.append(BlockSpec("mvau_12", "mvau", 105, 16, "L5"))
+    inv.extend(_weights(i, 85, "L5") for i in range(24, 30))
+    inv.append(BlockSpec("wc_5", "wc", 25, 1, "L5"))
+    inv.append(BlockSpec("fifo_s4", "fifo", 15, 1, "L5"))
+
+    # Activation thresholds: one shared config per conv layer, one per FC.
+    inv.append(BlockSpec("thres_a", "thres", 25, 6, "L0..L5"))
+    inv.append(BlockSpec("thres_b", "thres", 20, 3, "FC0..FC2"))
+    # Inter-layer stream FIFOs (shared configuration, 4 instances).
+    inv.append(BlockSpec("fifo_a", "fifo", 15, 4, "P0..L5"))
+
+    # --- fully connected layers ------------------------------------------
+    inv.append(BlockSpec("mvau_15", "mvau", 100, 8, "FC0+FC1"))
+    inv.extend(_weights(i, 120, "FC0", n_bram=1) for i in range(30, 32))
+    inv.append(BlockSpec("fifo_s5", "fifo", 15, 1, "FC0"))
+    inv.extend(_weights(i, 120, "FC1", n_bram=1) for i in range(32, 35))
+    inv.append(BlockSpec("fifo_s6", "fifo", 15, 1, "FC1"))
+    # mvau_18: the paper's Table I small block, four instances.
+    inv.append(BlockSpec("mvau_18", "mvau", 30, 4, "FC2"))
+    inv.extend(_weights(i, 45, "FC2") for i in range(35, 40))
+
+    # --- output path ------------------------------------------------------
+    inv.append(BlockSpec("label_sel", "misc", 15, 1, "out"))
+    inv.append(BlockSpec("dma_out", "dma", 45, 1, "out"))
+
+    return inv
+
+
+def total_target_slices() -> int:
+    """Instance-weighted sum of the flat-flow slice budgets."""
+    return sum(b.target_slices * b.n_instances for b in block_inventory())

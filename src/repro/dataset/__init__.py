@@ -1,0 +1,22 @@
+"""Training-dataset pipeline (paper §VI-A, §VII).
+
+``generate_dataset`` sweeps the RTL generators, synthesizes each module,
+runs the quick placement and labels it with its minimal feasible CF
+(upward sweep from 0.9 at 0.02 resolution).  ``balance_dataset`` caps each
+CF bin at 75 samples, reproducing the paper's 2,000 → ~1,500 filtering
+(Fig. 8).  ``save_dataset`` / ``load_dataset`` persist the labeled feature
+matrix so estimator experiments don't re-run the sweep.
+"""
+
+from repro.dataset.balance import balance_dataset, cf_histogram
+from repro.dataset.generate import GenerationReport, generate_dataset
+from repro.dataset.io import load_dataset_arrays, save_dataset_arrays
+
+__all__ = [
+    "GenerationReport",
+    "balance_dataset",
+    "cf_histogram",
+    "generate_dataset",
+    "load_dataset_arrays",
+    "save_dataset_arrays",
+]

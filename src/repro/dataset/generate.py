@@ -1,0 +1,101 @@
+"""Dataset generation: RTL sweep -> synthesized modules -> minimal-CF labels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.device.grid import DeviceGrid
+from repro.device.parts import xc7z020
+from repro.features.registry import ModuleRecord, make_record
+from repro.netlist.stats import compute_stats
+from repro.pblock.cf_search import InfeasibleModuleError, minimal_cf
+from repro.place.quick import quick_place
+from repro.rtlgen.sweep import generate_sweep
+from repro.synth.mapper import opt_design, synthesize
+
+__all__ = ["GenerationReport", "generate_dataset"]
+
+
+@dataclass(frozen=True)
+class GenerationReport:
+    """Bookkeeping of one dataset generation run.
+
+    Attributes
+    ----------
+    n_requested:
+        Modules drawn from the generators.
+    n_labeled:
+        Modules that received a minimal-CF label.
+    n_trivial:
+        Modules skipped as one-or-two-tile trivial (the paper excludes
+        them from the estimator study, §VIII).
+    n_infeasible:
+        Modules with no feasible CF up to the sweep limit (counted, not
+        silently dropped).
+    """
+
+    n_requested: int
+    n_labeled: int
+    n_trivial: int
+    n_infeasible: int
+    infeasible_names: tuple[str, ...] = field(default=())
+
+
+def generate_dataset(
+    n_modules: int = 2000,
+    seed: int = 0,
+    grid: DeviceGrid | None = None,
+    *,
+    start: float = 0.9,
+    step: float = 0.02,
+    max_cf: float = 2.5,
+    skip_trivial: bool = True,
+) -> tuple[list[ModuleRecord], GenerationReport]:
+    """Produce labeled module records for estimator training.
+
+    Parameters
+    ----------
+    n_modules:
+        Sweep size (the paper generates ~2,000).
+    seed:
+        Root seed of the sweep.
+    grid:
+        Device the CF labels are computed against (default xc7z020).
+    start, step, max_cf:
+        CF sweep parameters (paper: 0.9 / 0.02).
+    skip_trivial:
+        Drop one-or-two-tile modules.
+
+    Returns
+    -------
+    (records, report)
+        Labeled records (``min_cf`` set) and the generation report.
+    """
+    grid = grid or xc7z020()
+    records: list[ModuleRecord] = []
+    n_trivial = 0
+    infeasible: list[str] = []
+    for module in generate_sweep(n_modules, seed=seed):
+        stats = compute_stats(opt_design(synthesize(module)))
+        if skip_trivial and stats.is_trivial():
+            n_trivial += 1
+            continue
+        report = quick_place(stats)
+        try:
+            found = minimal_cf(
+                stats, grid, start=start, step=step, max_cf=max_cf, report=report
+            )
+        except InfeasibleModuleError:
+            infeasible.append(stats.name)
+            continue
+        records.append(
+            make_record(stats, report, min_cf=found.cf, family=module.family)
+        )
+    report_ = GenerationReport(
+        n_requested=n_modules,
+        n_labeled=len(records),
+        n_trivial=n_trivial,
+        n_infeasible=len(infeasible),
+        infeasible_names=tuple(infeasible),
+    )
+    return records, report_

@@ -1,0 +1,51 @@
+"""Dataset persistence.
+
+Records are saved as the "all"-feature matrix plus labels and metadata;
+that is sufficient for every estimator experiment (each feature set is a
+column subset of "all") without re-running the CF sweep.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.features.registry import FeatureExtractor, ModuleRecord, feature_names
+from repro.utils.serialization import load_arrays, save_arrays
+
+__all__ = ["save_dataset_arrays", "load_dataset_arrays"]
+
+
+def save_dataset_arrays(records: Sequence[ModuleRecord], path: str | Path) -> None:
+    """Save labeled records to a compressed ``.npz``."""
+    ex = FeatureExtractor("all")
+    X = ex.matrix(list(records))
+    y = np.array([r.min_cf for r in records])
+    names = np.array([r.name for r in records])
+    families = np.array([r.family for r in records])
+    cols = np.array(ex.names)
+    save_arrays(path, X=X, y=y, names=names, families=families, columns=cols)
+
+
+def load_dataset_arrays(
+    path: str | Path, feature_set: str = "all"
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Load ``(X, y, names, families)`` with ``X`` restricted to a set.
+
+    Raises
+    ------
+    ValueError
+        If the stored column order no longer matches the library's.
+    """
+    data = load_arrays(path)
+    stored_cols = [str(c) for c in data["columns"]]
+    want = feature_names(feature_set)
+    try:
+        sel = [stored_cols.index(c) for c in want]
+    except ValueError as exc:
+        raise ValueError(
+            f"{path}: stored columns {stored_cols} lack features {want}"
+        ) from exc
+    return data["X"][:, sel], data["y"], data["names"], data["families"]

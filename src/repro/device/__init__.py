@@ -1,0 +1,53 @@
+"""Column-based model of AMD 7-series (Zynq-7000) FPGA fabric.
+
+The model captures exactly the structural properties the paper's mechanisms
+depend on:
+
+* the fabric is a sequence of *columns*, each of a single resource kind
+  (CLB-LL, CLB-LM, BRAM, DSP, or the clock spine);
+* a CLB column is a vertical stack of CLBs, each CLB holding two
+  side-by-side slices (an M-type and an L-type slice for CLB-LM columns,
+  paper §V-A);
+* a slice has 4 LUTs, 8 FFs and one CARRY4 segment (paper §V-E); carry
+  chains need vertically contiguous slices in one slice column (§V-C);
+* pre-implemented blocks can only be relocated to x-positions where the
+  column-kind pattern matches (paper §IV, "PBlocks can be relocated only on
+  columns having the same resource type").
+
+Four Zynq-7000 parts are modeled; the paper's evaluation devices are
+:func:`repro.device.parts.xc7z020` (§IV) and
+:func:`repro.device.parts.xc7z045` (§VIII).
+"""
+
+from repro.device.column import Column, ColumnKind
+from repro.device.grid import CLB_PER_REGION, DeviceGrid
+from repro.device.parts import list_parts, make_part, xc7z010, xc7z020, xc7z045, xc7z100
+from repro.device.resources import (
+    CARRY_BITS_PER_SLICE,
+    FFS_PER_SLICE,
+    LUTRAM_PER_MSLICE,
+    LUTS_PER_SLICE,
+    SLICES_PER_CLB,
+    ResourceCaps,
+    SliceType,
+)
+
+__all__ = [
+    "CARRY_BITS_PER_SLICE",
+    "CLB_PER_REGION",
+    "Column",
+    "ColumnKind",
+    "DeviceGrid",
+    "FFS_PER_SLICE",
+    "LUTRAM_PER_MSLICE",
+    "LUTS_PER_SLICE",
+    "ResourceCaps",
+    "SLICES_PER_CLB",
+    "SliceType",
+    "list_parts",
+    "make_part",
+    "xc7z010",
+    "xc7z020",
+    "xc7z045",
+    "xc7z100",
+]

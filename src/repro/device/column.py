@@ -1,0 +1,72 @@
+"""Fabric columns.
+
+A device is a left-to-right sequence of columns; each column is uniform in
+the vertical direction.  CLB columns expose two *slice columns* (the two
+side-by-side slices of every CLB); for a CLB-LM column, slice column 0 is
+the M-type slice of each CLB and slice column 1 the L-type one, matching
+the real SLICEM/SLICEL split of a CLBLM tile.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.device.resources import (
+    BRAM36_PER_REGION_COLUMN,
+    DSP48_PER_REGION_COLUMN,
+    SLICES_PER_CLB,
+)
+
+__all__ = ["ColumnKind", "Column"]
+
+
+class ColumnKind(enum.Enum):
+    """Resource kind of one fabric column."""
+
+    CLBLL = "CLBLL"  # two SLICEL per CLB
+    CLBLM = "CLBLM"  # one SLICEM + one SLICEL per CLB (paper §V-A)
+    BRAM = "BRAM"
+    DSP = "DSP"
+    CLOCK = "CLOCK"  # vertical clock distribution spine
+
+    @property
+    def is_clb(self) -> bool:
+        """True for columns contributing slices."""
+        return self in (ColumnKind.CLBLL, ColumnKind.CLBLM)
+
+
+@dataclass(frozen=True)
+class Column:
+    """One fabric column.
+
+    Parameters
+    ----------
+    kind:
+        Resource kind.
+    x:
+        Zero-based position in the device's column sequence.
+    """
+
+    kind: ColumnKind
+    x: int
+
+    def slices_per_clb_row(self) -> int:
+        """Slices contributed per CLB row (2 for CLB columns, else 0)."""
+        return SLICES_PER_CLB if self.kind.is_clb else 0
+
+    def m_slices_per_clb_row(self) -> int:
+        """M-type slices per CLB row (1 for CLB-LM columns, else 0)."""
+        return 1 if self.kind is ColumnKind.CLBLM else 0
+
+    def bram36_in_rows(self, n_clb_rows: int) -> int:
+        """BRAM36 sites within ``n_clb_rows`` CLB rows of this column."""
+        if self.kind is not ColumnKind.BRAM:
+            return 0
+        return n_clb_rows * BRAM36_PER_REGION_COLUMN // 50
+
+    def dsp48_in_rows(self, n_clb_rows: int) -> int:
+        """DSP48 sites within ``n_clb_rows`` CLB rows of this column."""
+        if self.kind is not ColumnKind.DSP:
+            return 0
+        return n_clb_rows * DSP48_PER_REGION_COLUMN // 50

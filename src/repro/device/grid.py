@@ -1,0 +1,228 @@
+"""The device grid: columns x CLB rows, with clock regions.
+
+Coordinates
+-----------
+``x`` indexes columns (0-based, left to right); ``y`` indexes CLB rows
+(0-based, bottom to top).  A rectangle is ``(x0, width_cols, y0,
+height_clbs)``.  Heights of carry chains are measured in *slices*, which in
+a CLB column correspond one-to-one to CLB rows (each CLB row contributes one
+slice to each of the column's two slice columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.device.column import Column, ColumnKind
+from repro.device.resources import ResourceCaps, SLICES_PER_CLB
+from repro.utils.validation import check_positive
+
+__all__ = ["DeviceGrid", "CLB_PER_REGION"]
+
+#: 7-series clock regions are 50 CLBs tall.
+CLB_PER_REGION = 50
+
+
+@dataclass(frozen=True)
+class DeviceGrid:
+    """A rectangular fabric of columns.
+
+    Parameters
+    ----------
+    name:
+        Part name, e.g. ``"xc7z020"``.
+    columns:
+        Left-to-right column sequence.
+    n_regions:
+        Number of clock-region rows; the grid is ``50 * n_regions`` CLB rows
+        tall.
+    """
+
+    name: str
+    columns: tuple[Column, ...]
+    n_regions: int
+    _kind_cache: dict = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        check_positive(self.n_regions, "n_regions")
+        if not self.columns:
+            raise ValueError("a device needs at least one column")
+        for i, col in enumerate(self.columns):
+            if col.x != i:
+                raise ValueError(
+                    f"column {i} has inconsistent x={col.x}; columns must be "
+                    "numbered left to right"
+                )
+
+    # ------------------------------------------------------------------ geometry
+
+    @property
+    def n_cols(self) -> int:
+        """Total number of columns (all kinds)."""
+        return len(self.columns)
+
+    @property
+    def height_clbs(self) -> int:
+        """Grid height in CLB rows."""
+        return self.n_regions * CLB_PER_REGION
+
+    @property
+    def height_slices(self) -> int:
+        """Height of one slice column, in slices (== CLB rows)."""
+        return self.height_clbs
+
+    def kinds(self, x0: int = 0, width: int | None = None) -> tuple[ColumnKind, ...]:
+        """Column-kind pattern of the window ``[x0, x0+width)``."""
+        if width is None:
+            width = self.n_cols - x0
+        self._check_window(x0, width)
+        return tuple(c.kind for c in self.columns[x0 : x0 + width])
+
+    def _check_window(self, x0: int, width: int) -> None:
+        if x0 < 0 or width <= 0 or x0 + width > self.n_cols:
+            raise ValueError(
+                f"column window [{x0}, {x0 + width}) outside device "
+                f"with {self.n_cols} columns"
+            )
+
+    def _check_rows(self, y0: int, height: int) -> None:
+        if y0 < 0 or height <= 0 or y0 + height > self.height_clbs:
+            raise ValueError(
+                f"row window [{y0}, {y0 + height}) outside device "
+                f"with {self.height_clbs} CLB rows"
+            )
+
+    # ------------------------------------------------------------------ capacity
+
+    def caps_in_rect(self, x0: int, width: int, y0: int, height: int) -> ResourceCaps:
+        """Resource capacities inside a rectangle.
+
+        BRAM/DSP counts use each column's 5-CLB site pitch; partial pitches
+        round down (a site must lie fully inside the rectangle).
+        """
+        self._check_window(x0, width)
+        self._check_rows(y0, height)
+        caps = ResourceCaps()
+        for col in self.columns[x0 : x0 + width]:
+            if col.kind.is_clb:
+                n_slices = height * SLICES_PER_CLB
+                n_m = height * col.m_slices_per_clb_row()
+                caps = caps + ResourceCaps.for_slices(n_slices, n_m)
+            elif col.kind is ColumnKind.BRAM:
+                caps = caps + ResourceCaps(bram36=col.bram36_in_rows(height))
+            elif col.kind is ColumnKind.DSP:
+                caps = caps + ResourceCaps(dsp48=col.dsp48_in_rows(height))
+        return caps
+
+    def device_caps(self) -> ResourceCaps:
+        """Capacities of the full device."""
+        return self.caps_in_rect(0, self.n_cols, 0, self.height_clbs)
+
+    def clb_column_xs(self, x0: int = 0, width: int | None = None) -> list[int]:
+        """Absolute x of every CLB column in the window."""
+        if width is None:
+            width = self.n_cols - x0
+        self._check_window(x0, width)
+        return [c.x for c in self.columns[x0 : x0 + width] if c.kind.is_clb]
+
+    def crosses_region_boundary(self, y0: int, height: int) -> bool:
+        """True if the row window spans more than one clock region.
+
+        PBlocks crossing a region boundary pay a clock-skew timing penalty
+        (paper §IV: compact PBlocks can avoid clock distribution columns).
+        """
+        self._check_rows(y0, height)
+        return (y0 // CLB_PER_REGION) != ((y0 + height - 1) // CLB_PER_REGION)
+
+    # ------------------------------------------------------------------ relocation
+
+    def compatible_x_anchors(self, pattern: Sequence[ColumnKind]) -> list[int]:
+        """All x where a block whose columns follow ``pattern`` can sit.
+
+        A pre-implemented block can only be relocated to positions where
+        every column kind matches exactly (paper §IV).  Results are cached
+        per pattern because the stitcher queries the same footprints many
+        times.
+        """
+        key = tuple(pattern)
+        cached = self._kind_cache.get(key)
+        if cached is not None:
+            return cached
+        width = len(key)
+        anchors: list[int] = []
+        if 0 < width <= self.n_cols:
+            all_kinds = self.kinds()
+            for x in range(self.n_cols - width + 1):
+                if all_kinds[x : x + width] == key:
+                    anchors.append(x)
+        self._kind_cache[key] = anchors
+        return anchors
+
+    def find_window(
+        self,
+        min_clb_cols: int,
+        min_m_cols: int = 0,
+        min_bram_cols: int = 0,
+        min_dsp_cols: int = 0,
+        start_x: int = 0,
+    ) -> tuple[int, int] | None:
+        """Find the narrowest window from ``start_x`` satisfying column minima.
+
+        Returns ``(x0, width)`` of the first (leftmost, then narrowest)
+        window containing at least the requested number of CLB, CLB-LM,
+        BRAM and DSP columns, or ``None`` if the device cannot satisfy it.
+        Used by the PBlock generator to snap a resource demand to the
+        column grid.
+        """
+        best: tuple[int, int] | None = None
+        n = self.n_cols
+        for x0 in range(start_x, n):
+            clb = m = bram = dsp = 0
+            for x1 in range(x0, n):
+                kind = self.columns[x1].kind
+                if kind is ColumnKind.CLOCK:
+                    # PBlocks cannot contain the clock spine; restart after it.
+                    break
+                if kind.is_clb:
+                    clb += 1
+                    if kind is ColumnKind.CLBLM:
+                        m += 1
+                elif kind is ColumnKind.BRAM:
+                    bram += 1
+                elif kind is ColumnKind.DSP:
+                    dsp += 1
+                if (
+                    clb >= min_clb_cols
+                    and m >= min_m_cols
+                    and bram >= min_bram_cols
+                    and dsp >= min_dsp_cols
+                ):
+                    width = x1 - x0 + 1
+                    if best is None or width < best[1]:
+                        best = (x0, width)
+                    break
+        return best
+
+    # ------------------------------------------------------------------ misc
+
+    def clock_column_xs(self) -> list[int]:
+        """x positions of clock spine columns."""
+        return [c.x for c in self.columns if c.kind is ColumnKind.CLOCK]
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        caps = self.device_caps()
+        return (
+            f"{self.name}: {self.n_cols} cols x {self.height_clbs} CLB rows, "
+            f"{caps.slices} slices ({caps.m_slices} M), "
+            f"{caps.bram36} BRAM36, {caps.dsp48} DSP48"
+        )
+
+    @staticmethod
+    def from_kinds(name: str, kinds: Iterable[ColumnKind], n_regions: int) -> "DeviceGrid":
+        """Build a grid from a simple kind sequence."""
+        cols = tuple(Column(kind=k, x=i) for i, k in enumerate(kinds))
+        return DeviceGrid(name=name, columns=cols, n_regions=n_regions)

@@ -1,0 +1,98 @@
+"""Catalog of modeled Zynq-7000 parts.
+
+The column layouts are simplified but dimensionally faithful: slice counts,
+M/L mix, BRAM/DSP column pitch and clock-region heights are close to the
+real parts, which is what the paper's mechanisms (relocation compatibility,
+carry verticality, M-slice demand, near-full utilization) depend on.
+
+======== ============= ============== =========
+part     model slices  real slices    regions
+======== ============= ============== =========
+xc7z010  4,400         4,400          2
+xc7z020  13,200        13,300         3
+xc7z045  54,600        54,650         7
+xc7z100  69,600        69,350         8
+======== ============= ============== =========
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.device.column import ColumnKind
+from repro.device.grid import DeviceGrid
+
+__all__ = ["xc7z010", "xc7z020", "xc7z045", "xc7z100", "make_part", "list_parts"]
+
+_LL = ColumnKind.CLBLL
+_LM = ColumnKind.CLBLM
+_B = ColumnKind.BRAM
+_D = ColumnKind.DSP
+_CK = ColumnKind.CLOCK
+
+#: Repeating column unit: 6 CLB columns (3 LL + 3 LM), one BRAM, one DSP.
+_UNIT: tuple[ColumnKind, ...] = (_LL, _LM, _LL, _LM, _B, _LL, _LM, _D)
+
+
+def _fabric(n_units: int, tail: tuple[ColumnKind, ...]) -> list[ColumnKind]:
+    """``n_units`` repetitions of the standard unit with a clock spine in the
+    middle and ``tail`` columns appended."""
+    kinds: list[ColumnKind] = []
+    spine_after = n_units // 2
+    for u in range(n_units):
+        if u == spine_after:
+            kinds.append(_CK)
+        kinds.extend(_UNIT)
+    kinds.extend(tail)
+    return kinds
+
+
+def xc7z010() -> DeviceGrid:
+    """The smallest Zynq-7000; useful for overfull-device studies."""
+    # 3 units + 4 extra CLB columns -> 22 * 200 = 4,400 slices.
+    kinds = _fabric(3, tail=(_LL, _LM, _LL, _LM))
+    return DeviceGrid.from_kinds("xc7z010", kinds, n_regions=2)
+
+
+def xc7z020() -> DeviceGrid:
+    """The paper's Section IV device (cnvW1A1 fills 99.98% of its slices)."""
+    # 7 units -> 42 CLB columns; tail adds 2 more -> 44 * 300 = 13,200 slices.
+    kinds = _fabric(7, tail=(_LL, _LM))
+    return DeviceGrid.from_kinds("xc7z020", kinds, n_regions=3)
+
+
+def xc7z045() -> DeviceGrid:
+    """The paper's Section VIII device (full-design stitching target)."""
+    # 13 units -> 78 CLB columns * 700 = 54,600 slices.
+    kinds = _fabric(13, tail=())
+    return DeviceGrid.from_kinds("xc7z045", kinds, n_regions=7)
+
+
+def xc7z100() -> DeviceGrid:
+    """The largest Zynq-7000 of the family."""
+    # 14 units + 3 extra CLB columns -> 87 * 800 = 69,600 slices.
+    kinds = _fabric(14, tail=(_LL, _LM, _LL))
+    return DeviceGrid.from_kinds("xc7z100", kinds, n_regions=8)
+
+
+_PARTS: dict[str, Callable[[], DeviceGrid]] = {
+    "xc7z010": xc7z010,
+    "xc7z020": xc7z020,
+    "xc7z045": xc7z045,
+    "xc7z100": xc7z100,
+}
+
+
+def make_part(name: str) -> DeviceGrid:
+    """Instantiate a part by name; raises :class:`KeyError` for unknown parts."""
+    try:
+        return _PARTS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown part {name!r}; available: {sorted(_PARTS)}"
+        ) from None
+
+
+def list_parts() -> list[str]:
+    """Names of all modeled parts."""
+    return sorted(_PARTS)

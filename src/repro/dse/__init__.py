@@ -1,0 +1,13 @@
+"""Design-space exploration driver (the paper's §III scenario).
+
+The paper's whole motivation is NN design-space exploration with fast
+recompilation: FINN-style flows make *describing* variants fast, and
+pre-implemented blocks make *compiling* them fast.  This package closes
+the loop: :class:`~repro.dse.explorer.DSEExplorer` sweeps variants of a
+block design, recompiles each incrementally against a shared
+implementation cache, and tracks the area/timing Pareto front.
+"""
+
+from repro.dse.explorer import DSEExplorer, DSEPoint, pareto_front
+
+__all__ = ["DSEExplorer", "DSEPoint", "pareto_front"]

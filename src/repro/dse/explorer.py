@@ -1,0 +1,213 @@
+"""Incremental design-space exploration over a block design.
+
+A *variant* is a mapping from module names to replacement
+:class:`~repro.rtlgen.base.RTLModule` objects (e.g. different MVAU
+foldings).  The explorer compiles each variant with the RW-style flow but
+reuses pre-implementations of unchanged modules from a cache, so the cost
+of a DSE step is proportional to what changed — the paper's §I argument,
+operationalized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.device.grid import DeviceGrid
+from repro.flow.blockdesign import BlockDesign
+from repro.flow.policy import CFPolicy, FixedCF
+from repro.flow.preimpl import ImplementedModule, implement_module
+from repro.flow.stitcher import SAParams, StitchResult, stitch
+from repro.rtlgen.base import RTLModule
+from repro.utils.tables import Table
+
+__all__ = ["DSEPoint", "DSEExplorer", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class DSEPoint:
+    """One explored variant.
+
+    Attributes
+    ----------
+    label:
+        Variant name.
+    area_slices:
+        Total used slices over all instances.
+    worst_path_ns:
+        Slowest module's longest path (the design's clock limiter).
+    n_unplaced:
+        Blocks the stitcher could not place (0 = fully implementable).
+    implemented_effort:
+        Slice demand actually (re)implemented for this variant — the
+        incremental cost of the step.
+    cache_hits:
+        Modules served from the cache.
+    """
+
+    label: str
+    area_slices: int
+    worst_path_ns: float
+    n_unplaced: int
+    implemented_effort: int
+    cache_hits: int
+
+    def dominates(self, other: "DSEPoint") -> bool:
+        """Pareto dominance on (area, worst path), requiring feasibility."""
+        if self.n_unplaced > 0:
+            return False
+        better_or_equal = (
+            self.area_slices <= other.area_slices
+            and self.worst_path_ns <= other.worst_path_ns
+        )
+        strictly = (
+            self.area_slices < other.area_slices
+            or self.worst_path_ns < other.worst_path_ns
+        )
+        return better_or_equal and (strictly or other.n_unplaced > 0)
+
+
+def pareto_front(points: Sequence[DSEPoint]) -> list[DSEPoint]:
+    """Non-dominated feasible points, sorted by area."""
+    feasible = [p for p in points if p.n_unplaced == 0]
+    front = [
+        p
+        for p in feasible
+        if not any(q is not p and q.dominates(p) for q in feasible)
+    ]
+    return sorted(front, key=lambda p: p.area_slices)
+
+
+class DSEExplorer:
+    """Explores variants of one block design with an implementation cache.
+
+    Parameters
+    ----------
+    base:
+        The starting design; its modules seed the cache.
+    grid:
+        Pre-implementation device.
+    policy:
+        CF policy for module implementation (a trained
+        :class:`~repro.estimator.strategy.EstimatedCF` is the paper's
+        recommendation; a constant works too).
+    stitch_grid:
+        Device for full-design stitching (defaults to ``grid``).
+    sa_params:
+        Stitcher budget per variant.
+    """
+
+    def __init__(
+        self,
+        base: BlockDesign,
+        grid: DeviceGrid,
+        policy: CFPolicy | None = None,
+        *,
+        stitch_grid: DeviceGrid | None = None,
+        sa_params: SAParams | None = None,
+    ) -> None:
+        base.validate()
+        self.base = base
+        self.grid = grid
+        self.policy = policy or FixedCF(1.7)
+        self.stitch_grid = stitch_grid or grid
+        self.sa_params = sa_params or SAParams(max_iters=8000, seed=0)
+        self._cache: dict[tuple, ImplementedModule] = {}
+        self.points: list[DSEPoint] = []
+
+    # ------------------------------------------------------------------ cache
+
+    @staticmethod
+    def _key(module: RTLModule) -> tuple:
+        return (module.name, module.family, module.params)
+
+    def _implement(self, module: RTLModule) -> tuple[ImplementedModule, bool]:
+        key = self._key(module)
+        hit = key in self._cache
+        if not hit:
+            self._cache[key] = implement_module(module, self.grid, self.policy)
+        return self._cache[key], hit
+
+    # ------------------------------------------------------------------ explore
+
+    def evaluate(
+        self, label: str, overrides: Mapping[str, RTLModule] | None = None
+    ) -> DSEPoint:
+        """Compile one variant and record its point.
+
+        Parameters
+        ----------
+        label:
+            Variant name for reporting.
+        overrides:
+            Module replacements relative to the base design; names must
+            exist in the base design.
+        """
+        overrides = dict(overrides or {})
+        unknown = set(overrides) - set(self.base.modules)
+        if unknown:
+            raise KeyError(f"overrides for unknown modules: {sorted(unknown)}")
+
+        impls: dict[str, ImplementedModule] = {}
+        effort = 0
+        hits = 0
+        for name, module in self.base.modules.items():
+            chosen = overrides.get(name, module)
+            impl, hit = self._implement(chosen)
+            impls[name] = impl
+            if hit:
+                hits += 1
+            else:
+                effort += impl.outcome.result.demand_slices
+
+        footprints = {
+            name: impl.outcome.result.footprint for name, impl in impls.items()
+        }
+        stitched: StitchResult = stitch(
+            self.base, footprints, self.stitch_grid, self.sa_params
+        )
+        counts = self.base.instance_counts()
+        area = sum(impls[m].used_slices * n for m, n in counts.items())
+        worst = max(impl.timing.total_ns for impl in impls.values())
+        point = DSEPoint(
+            label=label,
+            area_slices=area,
+            worst_path_ns=worst,
+            n_unplaced=stitched.n_unplaced,
+            implemented_effort=effort,
+            cache_hits=hits,
+        )
+        self.points.append(point)
+        return point
+
+    # ------------------------------------------------------------------ report
+
+    def render(self) -> str:
+        """Summary table of all explored points, Pareto-marked."""
+        front = set(id(p) for p in pareto_front(self.points))
+        t = Table(
+            [
+                "variant",
+                "area (slices)",
+                "worst path (ns)",
+                "unplaced",
+                "step effort",
+                "cache hits",
+                "pareto",
+            ],
+            float_fmt="{:.2f}",
+            title=f"DSE over {self.base.name}",
+        )
+        for p in self.points:
+            t.add_row(
+                [
+                    p.label,
+                    p.area_slices,
+                    p.worst_path_ns,
+                    p.n_unplaced,
+                    p.implemented_effort,
+                    p.cache_hits,
+                    "*" if id(p) in front else "",
+                ]
+            )
+        return t.render()

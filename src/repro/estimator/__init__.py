@@ -1,0 +1,14 @@
+"""The learned PBlock correction-factor estimator (paper §VI-§VIII).
+
+:class:`~repro.estimator.cf_estimator.CFEstimator` wraps one of the four
+model types over one feature set; :class:`~repro.estimator.strategy.EstimatedCF`
+plugs it into the flow with the paper's refinement loop: try the predicted
+CF, on failure climb in 0.1 steps, then re-search the last interval at
+0.02 (§VIII).  An optional overhead term trades tool runs for PBlock
+density, as the paper discusses.
+"""
+
+from repro.estimator.cf_estimator import CFEstimator, train_estimator
+from repro.estimator.strategy import EstimatedCF
+
+__all__ = ["CFEstimator", "EstimatedCF", "train_estimator"]

@@ -1,0 +1,34 @@
+"""Feature extraction for the CF estimator (paper §V, §VI-B, Fig. 9).
+
+Four feature sets, exactly as evaluated in Table II:
+
+* ``classical`` — raw resource counts: LUTs, CLB-Ms, FFs, control sets,
+  carry cells, max fanout;
+* ``classical_placement`` ("Classical*") — classical plus the quick
+  placement's shape features;
+* ``additional`` — the paper's hand-crafted *relative* (size-invariant)
+  features: Carry/All, FF/All, LUT/All, M-ratio, PBlock density, control
+  sets per FF slice, normalized fanout;
+* ``all`` — the union.
+
+``linreg9`` is the nine-input set used by the linear-regression baseline
+(§VI-B).
+"""
+
+from repro.features.registry import (
+    FEATURE_SETS,
+    FeatureExtractor,
+    ModuleRecord,
+    extract_matrix,
+    feature_names,
+    make_record,
+)
+
+__all__ = [
+    "FEATURE_SETS",
+    "FeatureExtractor",
+    "ModuleRecord",
+    "extract_matrix",
+    "feature_names",
+    "make_record",
+]

@@ -1,0 +1,51 @@
+"""Classical (raw-count) features — Table II "Classical"."""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.features.registry import ModuleRecord
+
+__all__ = ["CLASSICAL_FEATURES"]
+
+
+def _n_lut(r: "ModuleRecord") -> float:
+    """Logic LUT count."""
+    return float(r.stats.n_lut)
+
+
+def _n_clbm(r: "ModuleRecord") -> float:
+    """Required M-type slices (the paper's CLBM count, §V-A)."""
+    return float(math.ceil(r.stats.n_m_lut_sites / 4))
+
+
+def _n_ff(r: "ModuleRecord") -> float:
+    """Flip-flop count."""
+    return float(r.stats.n_ff)
+
+
+def _n_control_sets(r: "ModuleRecord") -> float:
+    """Number of distinct control sets (§V-B)."""
+    return float(r.stats.n_control_sets)
+
+
+def _n_carry(r: "ModuleRecord") -> float:
+    """Carry cells (CARRY4 segments, §V-C)."""
+    return float(r.stats.n_carry4)
+
+
+def _max_fanout(r: "ModuleRecord") -> float:
+    """Maximum signal-net fanout (§V-D)."""
+    return float(r.stats.max_fanout)
+
+
+CLASSICAL_FEATURES: dict[str, Callable[["ModuleRecord"], float]] = {
+    "luts": _n_lut,
+    "clbms": _n_clbm,
+    "ffs": _n_ff,
+    "control_sets": _n_control_sets,
+    "carry": _n_carry,
+    "max_fanout": _max_fanout,
+}

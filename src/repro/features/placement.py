@@ -1,0 +1,33 @@
+"""Placement features from the quick placement's shape report —
+Table II "Classical*" extends the classical set with these."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.features.registry import ModuleRecord
+
+__all__ = ["PLACEMENT_FEATURES"]
+
+
+def _shape_area(r: "ModuleRecord") -> float:
+    """Estimated shape area of the quick placement (CLB cells)."""
+    return float(r.report.shape_area_clbs)
+
+
+def _shape_height(r: "ModuleRecord") -> float:
+    """Quick-placement height (CLB rows)."""
+    return float(r.report.est_height_clbs)
+
+
+def _min_height(r: "ModuleRecord") -> float:
+    """Carry-driven minimum PBlock height (slices, §V-C shape report)."""
+    return float(r.report.min_height_clbs)
+
+
+PLACEMENT_FEATURES: dict[str, Callable[["ModuleRecord"], float]] = {
+    "shape_area": _shape_area,
+    "shape_height": _shape_height,
+    "min_height": _min_height,
+}

@@ -1,0 +1,144 @@
+"""Feature-set registry and matrix extraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.features.classical import CLASSICAL_FEATURES
+from repro.features.placement import PLACEMENT_FEATURES
+from repro.features.relative import RELATIVE_FEATURES
+from repro.netlist.stats import NetlistStats
+from repro.place.quick import ShapeReport, quick_place
+
+__all__ = [
+    "ModuleRecord",
+    "FEATURE_SETS",
+    "FeatureExtractor",
+    "feature_names",
+    "extract_matrix",
+    "make_record",
+]
+
+
+@dataclass(frozen=True)
+class ModuleRecord:
+    """Everything feature extraction may read about one module.
+
+    Attributes
+    ----------
+    stats:
+        Post-synthesis statistics.
+    report:
+        Quick-placement shape report.
+    min_cf:
+        Ground-truth minimal CF (``nan`` when unlabeled).
+    family:
+        Generator family (dataset metadata).
+    """
+
+    stats: NetlistStats
+    report: ShapeReport
+    min_cf: float = float("nan")
+    family: str = ""
+
+    @property
+    def name(self) -> str:
+        """Module name."""
+        return self.stats.name
+
+
+def make_record(
+    stats: NetlistStats,
+    report: ShapeReport | None = None,
+    min_cf: float = float("nan"),
+    family: str = "",
+) -> ModuleRecord:
+    """Build a record, running the quick placement if not supplied."""
+    return ModuleRecord(
+        stats=stats,
+        report=report if report is not None else quick_place(stats),
+        min_cf=min_cf,
+        family=family,
+    )
+
+
+_ALL_FEATURES: dict[str, Callable[[ModuleRecord], float]] = {
+    **CLASSICAL_FEATURES,
+    **PLACEMENT_FEATURES,
+    **RELATIVE_FEATURES,
+}
+
+#: The paper's four evaluated feature sets (Table II) plus the
+#: nine-input linear-regression set (§VI-B).
+FEATURE_SETS: dict[str, tuple[str, ...]] = {
+    "classical": tuple(CLASSICAL_FEATURES),
+    "classical_placement": tuple(CLASSICAL_FEATURES) + tuple(PLACEMENT_FEATURES),
+    "additional": tuple(RELATIVE_FEATURES),
+    "all": tuple(CLASSICAL_FEATURES)
+    + tuple(PLACEMENT_FEATURES)
+    + tuple(RELATIVE_FEATURES),
+    "linreg9": (
+        "max_fanout",
+        "control_sets",
+        "density",
+        "m_ratio",
+        "carry_over_all",
+        "shape_area",
+        "shape_height",
+        "min_height",
+        "cs_per_ff_slice",
+    ),
+}
+
+
+def feature_names(feature_set: str) -> tuple[str, ...]:
+    """Names of the features in a set (column order of the matrix)."""
+    try:
+        return FEATURE_SETS[feature_set]
+    except KeyError:
+        raise KeyError(
+            f"unknown feature set {feature_set!r}; known: {sorted(FEATURE_SETS)}"
+        ) from None
+
+
+class FeatureExtractor:
+    """Extracts one feature set as a vector/matrix.
+
+    Parameters
+    ----------
+    feature_set:
+        One of :data:`FEATURE_SETS`.
+    """
+
+    def __init__(self, feature_set: str) -> None:
+        self.feature_set = feature_set
+        self.names = feature_names(feature_set)
+        self._funcs = [_ALL_FEATURES[n] for n in self.names]
+
+    @property
+    def n_features(self) -> int:
+        """Vector length."""
+        return len(self.names)
+
+    def vector(self, record: ModuleRecord) -> np.ndarray:
+        """Feature vector of one module."""
+        return np.array([f(record) for f in self._funcs], dtype=np.float64)
+
+    def matrix(self, records: Sequence[ModuleRecord]) -> np.ndarray:
+        """``(n_samples, n_features)`` matrix."""
+        if not records:
+            return np.empty((0, self.n_features))
+        return np.vstack([self.vector(r) for r in records])
+
+
+def extract_matrix(
+    records: Sequence[ModuleRecord], feature_set: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convenience: feature matrix + label vector for labeled records."""
+    ex = FeatureExtractor(feature_set)
+    X = ex.matrix(records)
+    y = np.array([r.min_cf for r in records], dtype=np.float64)
+    return X, y

@@ -1,0 +1,75 @@
+"""The paper's hand-crafted relative features — Table II "Additional".
+
+These are size-invariant ratios; the paper finds they outperform raw
+counts (Fig. 9/10), with Carry/All alone carrying 40-50% of the decision
+weight.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.features.registry import ModuleRecord
+
+__all__ = ["RELATIVE_FEATURES"]
+
+
+def _carry_over_all(r: "ModuleRecord") -> float:
+    """Carry cells / all primitive sites (the paper's dominant feature)."""
+    return r.stats.n_carry4 / max(1, r.stats.total_sites)
+
+
+def _ff_over_all(r: "ModuleRecord") -> float:
+    """FFs / all primitive sites."""
+    return r.stats.n_ff / max(1, r.stats.total_sites)
+
+
+def _lut_over_all(r: "ModuleRecord") -> float:
+    """Logic LUTs / all primitive sites."""
+    return r.stats.n_lut / max(1, r.stats.total_sites)
+
+
+def _m_ratio(r: "ModuleRecord") -> float:
+    """Required M slices / estimated total slices (§V-A, §VI-B)."""
+    m_slices = math.ceil(r.stats.n_m_lut_sites / 4)
+    return m_slices / max(1, r.report.est_slices)
+
+
+def _density(r: "ModuleRecord") -> float:
+    """PBlock density (§V-E): dominant slice demand / summed demands.
+
+    1.0 when a single resource dominates; 1/3 when LUT, FF and carry
+    demands are balanced (the congested worst case).
+    """
+    s = r.stats
+    lut_slices = math.ceil(s.n_lut / 4)
+    ff_slices = math.ceil(s.n_ff / 8)
+    carry_slices = s.n_carry4
+    raw = lut_slices + ff_slices + carry_slices
+    if raw == 0:
+        return 1.0
+    return max(lut_slices, ff_slices, carry_slices) / raw
+
+
+def _cs_per_ff_slice(r: "ModuleRecord") -> float:
+    """Control sets per ideal FF slice (§V-B fragmentation pressure)."""
+    ff_slices = math.ceil(r.stats.n_ff / 8)
+    return r.stats.n_control_sets / max(1, ff_slices)
+
+
+def _fanout_norm(r: "ModuleRecord") -> float:
+    """Max fanout normalized by module size (log scale)."""
+    return math.log10(1 + r.stats.max_fanout) / math.log10(10 + r.stats.total_sites)
+
+
+RELATIVE_FEATURES: dict[str, Callable[["ModuleRecord"], float]] = {
+    "carry_over_all": _carry_over_all,
+    "ff_over_all": _ff_over_all,
+    "lut_over_all": _lut_over_all,
+    "m_ratio": _m_ratio,
+    "density": _density,
+    "cs_per_ff_slice": _cs_per_ff_slice,
+    "fanout_norm": _fanout_norm,
+}

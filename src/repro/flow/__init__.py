@@ -1,0 +1,74 @@
+"""Compilation flows.
+
+* :mod:`repro.flow.blockdesign` — the multi-block design model RapidWright
+  expects as input (modules, instances, inter-block connections);
+* :mod:`repro.flow.preimpl` — per-module pre-implementation (synthesis →
+  quick place → PBlock → detailed place) with caching of unique modules;
+* :mod:`repro.flow.policy` — correction-factor selection policies
+  (fixed, sweep-from-0.9, ground-truth minimal; the learned policy lives
+  in :mod:`repro.estimator`);
+* :mod:`repro.flow.stitcher` — the simulated-annealing macro placer that
+  assembles pre-implemented blocks into a full-device placement;
+* :mod:`repro.flow.monolithic` — the flat "AMD EDA"-style whole-device
+  flow used as the paper's baseline (Table I, Fig. 5a);
+* :mod:`repro.flow.rwflow` — the end-to-end RapidWright-style flow;
+* :mod:`repro.flow.bitgen` — bitstream assembly of a stitched placement;
+* :mod:`repro.flow.prflow` — the fixed-partition PR baseline the paper's
+  §II argues against;
+* :mod:`repro.flow.design_io` / :mod:`repro.flow.analysis_graph` — design
+  persistence and structural diagnostics;
+* :mod:`repro.flow.results` — cross-policy comparisons.
+"""
+
+from repro.flow.bitgen import Bitstream, generate_bitstream
+from repro.flow.analysis_graph import DesignGraphStats, analyze_design
+from repro.flow.blockdesign import BlockDesign, Edge, Instance
+from repro.flow.design_io import load_design, save_design
+from repro.flow.monolithic import MonolithicResult, monolithic_flow
+from repro.flow.policy import (
+    CFOutcome,
+    CFPolicy,
+    FixedCF,
+    FlowInfeasibleError,
+    MinimalCFPolicy,
+    SweepCF,
+)
+from repro.flow.preimpl import ImplementedModule, implement_design, implement_module
+from repro.flow.prflow import PRPlan, Partition, apply_update, plan_partitions
+from repro.flow.results import FlowComparison, compare_flows
+from repro.flow.rwflow import RWFlowResult, run_rw_flow
+from repro.flow.stitcher import SAParams, StitchResult, stitch
+
+__all__ = [
+    "Bitstream",
+    "BlockDesign",
+    "DesignGraphStats",
+    "CFOutcome",
+    "CFPolicy",
+    "Edge",
+    "FixedCF",
+    "FlowComparison",
+    "FlowInfeasibleError",
+    "ImplementedModule",
+    "Instance",
+    "MinimalCFPolicy",
+    "MonolithicResult",
+    "PRPlan",
+    "Partition",
+    "RWFlowResult",
+    "SAParams",
+    "StitchResult",
+    "SweepCF",
+    "analyze_design",
+    "apply_update",
+    "compare_flows",
+    "generate_bitstream",
+    "implement_design",
+    "implement_module",
+    "load_design",
+    "monolithic_flow",
+    "plan_partitions",
+    "run_rw_flow",
+    "save_design",
+    "stitch",
+]

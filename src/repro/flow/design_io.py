@@ -1,0 +1,95 @@
+"""Block-design serialization (JSON).
+
+Lets a partitioned design (e.g. one produced by an external FINN-style
+frontend, or the calibrated cnvW1A1) be saved once and compiled many
+times — including from the CLI — without re-running construction.
+RTL constructs are rebuilt through a registry, so loading executes no
+code from the file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Any
+
+from repro.flow.blockdesign import BlockDesign
+from repro.rtlgen import constructs as _constructs
+from repro.rtlgen.base import RTLModule
+from repro.utils.serialization import dump_json, load_json
+
+__all__ = ["design_to_dict", "design_from_dict", "save_design", "load_design"]
+
+#: Constructs eligible for (de)serialization, by class name.
+_CONSTRUCT_TYPES: dict[str, type] = {
+    name: getattr(_constructs, name)
+    for name in _constructs.__all__
+    if name != "Construct"
+}
+
+
+def _construct_to_dict(c: Any) -> dict[str, Any]:
+    return {
+        "type": type(c).__name__,
+        "params": dataclasses.asdict(c),
+    }
+
+
+def _construct_from_dict(data: dict[str, Any]) -> Any:
+    try:
+        cls = _CONSTRUCT_TYPES[data["type"]]
+    except KeyError:
+        raise ValueError(f"unknown construct type {data.get('type')!r}") from None
+    return cls(**data["params"])
+
+
+def _module_to_dict(m: RTLModule) -> dict[str, Any]:
+    return {
+        "name": m.name,
+        "family": m.family,
+        "params": [list(kv) for kv in m.params],
+        "constructs": [_construct_to_dict(c) for c in m.constructs],
+    }
+
+
+def _module_from_dict(data: dict[str, Any]) -> RTLModule:
+    return RTLModule(
+        name=data["name"],
+        family=data["family"],
+        params=tuple((k, v) for k, v in data["params"]),
+        constructs=tuple(_construct_from_dict(c) for c in data["constructs"]),
+    )
+
+
+def design_to_dict(design: BlockDesign) -> dict[str, Any]:
+    """Serialize a validated design to a JSON-compatible dict."""
+    design.validate()
+    return {
+        "name": design.name,
+        "modules": [_module_to_dict(m) for m in design.modules.values()],
+        "instances": [[i.name, i.module] for i in design.instances],
+        "edges": [[e.src, e.dst, e.width] for e in design.edges],
+    }
+
+
+def design_from_dict(data: dict[str, Any]) -> BlockDesign:
+    """Rebuild a design serialized by :func:`design_to_dict`."""
+    design = BlockDesign(name=data["name"])
+    for mod in data["modules"]:
+        design.add_module(_module_from_dict(mod))
+    for name, module in data["instances"]:
+        design.add_instance(name, module)
+    for src, dst, width in data["edges"]:
+        design.connect(src, dst, width=width)
+    design.validate()
+    return design
+
+
+def save_design(design: BlockDesign, path: str | Path) -> None:
+    """Write a design to a JSON file."""
+    dump_json(design_to_dict(design), path)
+
+
+def load_design(path: str | Path) -> BlockDesign:
+    """Read a design written by :func:`save_design`."""
+    return design_from_dict(load_json(path))

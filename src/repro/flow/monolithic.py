@@ -1,0 +1,101 @@
+"""Flat whole-device flow (the paper's "AMD EDA tool" baseline).
+
+Implements the entire block design as one netlist on the full device.
+Because a global placer optimizes across module boundaries, each instance
+gets its own placement: per-instance slice usage varies slightly (Table I
+footnote: ``mvau_18`` has four instances using 30/34/32/29 slices), and
+under area pressure the flat flow packs to the brink — the paper's design
+lands at 99.98% utilization on the xc7z020.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.device.grid import DeviceGrid
+from repro.flow.blockdesign import BlockDesign
+from repro.netlist.stats import NetlistStats, compute_stats
+from repro.place.packer import slice_demand
+from repro.synth.mapper import opt_design, synthesize
+from repro.utils.rng import module_noise
+
+__all__ = ["MonolithicResult", "monolithic_flow"]
+
+#: Flat-flow overhead over the ideal demand when the device has slack.
+_FLAT_OVERHEAD = 0.10
+#: Residual overhead of routing the whole design at once, even when the
+#: placer is forced to optimize area (paper: the flat flow still uses more
+#: slices per module than the tightest PBlock, Table I).
+_FLAT_RESIDUAL = 0.035
+#: Per-instance placement variation of the global placer (skewed upward:
+#: the flat flow rarely beats a dedicated tightly-constrained placement).
+_JITTER_LO = -0.03
+_JITTER_HI = 0.08
+
+
+@dataclass(frozen=True)
+class MonolithicResult:
+    """Result of the flat flow.
+
+    Attributes
+    ----------
+    per_instance_slices:
+        Slices used by each instance.
+    total_slices:
+        Sum over instances.
+    utilization:
+        ``total_slices / device slices``.
+    placed:
+        Whether the design fits the device at all.
+    """
+
+    per_instance_slices: dict[str, int]
+    total_slices: int
+    utilization: float
+    placed: bool
+
+    def module_slices(self, design: BlockDesign, module: str) -> list[int]:
+        """Per-instance slice usage of one module (Table I's AMD column)."""
+        return [
+            self.per_instance_slices[i.name] for i in design.instances_of(module)
+        ]
+
+
+def monolithic_flow(design: BlockDesign, grid: DeviceGrid) -> MonolithicResult:
+    """Run the flat flow for ``design`` on ``grid``.
+
+    The model: every instance needs its module's post-fragmentation slice
+    demand; a global placer adds a small overhead when the device has
+    slack but squeezes toward the ideal demand as utilization approaches
+    1 (the paper notes the AMD tool is "forced to optimize area" at
+    99.98%).  Per-instance jitter is deterministic in the instance name.
+    """
+    design.validate()
+    stats_by_module: dict[str, NetlistStats] = {
+        name: compute_stats(opt_design(synthesize(mod)))
+        for name, mod in design.modules.items()
+    }
+    demands = {
+        name: slice_demand(stats) for name, stats in stats_by_module.items()
+    }
+
+    device_slices = grid.device_caps().slices
+    ideal_total = sum(demands[i.module] for i in design.instances)
+    # Area pressure: scale the flat-flow overhead down as the device fills.
+    pressure = min(1.0, ideal_total / device_slices)
+    overhead = _FLAT_OVERHEAD * (1.0 - pressure) + _FLAT_RESIDUAL
+
+    per_instance: dict[str, int] = {}
+    for inst in design.instances:
+        jitter = module_noise(inst.name, "monolithic", _JITTER_LO, _JITTER_HI)
+        used = demands[inst.module] * (1.0 + overhead + jitter)
+        per_instance[inst.name] = max(1, math.ceil(used))
+
+    total = sum(per_instance.values())
+    return MonolithicResult(
+        per_instance_slices=per_instance,
+        total_slices=total,
+        utilization=total / device_slices,
+        placed=total <= device_slices,
+    )

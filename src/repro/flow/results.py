@@ -1,0 +1,85 @@
+"""Cross-policy flow comparison helpers.
+
+``compare_flows`` runs one block design under several CF policies and
+collects the metrics the paper reports side by side (placed blocks, tool
+runs, PBlock area, SA cost/convergence) into a single renderable table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.grid import DeviceGrid
+from repro.flow.blockdesign import BlockDesign
+from repro.flow.policy import CFPolicy
+from repro.flow.rwflow import RWFlowResult, run_rw_flow
+from repro.flow.stitcher import SAParams
+from repro.utils.tables import Table
+
+__all__ = ["FlowComparison", "compare_flows"]
+
+
+@dataclass(frozen=True)
+class FlowComparison:
+    """Results of running one design under several policies."""
+
+    design_name: str
+    n_instances: int
+    results: dict[str, RWFlowResult]
+
+    def render(self) -> str:
+        t = Table(
+            [
+                "policy",
+                "placed",
+                "tool runs",
+                "mean CF",
+                "PBlock slices",
+                "SA cost",
+                "converged@",
+            ],
+            title=f"flow comparison: {self.design_name}",
+        )
+        for label, res in self.results.items():
+            t.add_row(
+                [
+                    label,
+                    f"{res.stitch.n_placed}/{self.n_instances}",
+                    res.total_tool_runs,
+                    f"{res.mean_cf:.2f}",
+                    res.total_pblock_slices,
+                    f"{res.stitch.final_cost:.0f}",
+                    res.stitch.converged_at,
+                ]
+            )
+        return t.render()
+
+    def best_by_placed(self) -> str:
+        """Label of the policy placing the most blocks."""
+        return max(self.results, key=lambda k: self.results[k].stitch.n_placed)
+
+    def best_by_runs(self) -> str:
+        """Label of the cheapest policy in tool runs."""
+        return min(self.results, key=lambda k: self.results[k].total_tool_runs)
+
+
+def compare_flows(
+    design: BlockDesign,
+    grid: DeviceGrid,
+    policies: dict[str, CFPolicy],
+    *,
+    stitch_grid: DeviceGrid | None = None,
+    sa_params: SAParams | None = None,
+) -> FlowComparison:
+    """Run ``design`` under every policy and bundle the results."""
+    if not policies:
+        raise ValueError("need at least one policy")
+    results = {
+        label: run_rw_flow(
+            design, grid, policy, stitch_grid=stitch_grid, sa_params=sa_params
+        )
+        for label, policy in policies.items()
+    }
+    return FlowComparison(
+        design_name=design.name, n_instances=design.n_instances, results=results
+    )

@@ -1,0 +1,428 @@
+"""Simulated-annealing stitcher (RapidWright's global macro placer).
+
+Places every pre-implemented block instance on the device, relocating each
+only to x-positions whose column-kind pattern matches its footprint
+(paper §IV).  The SA cost is inter-block half-perimeter wirelength plus a
+penalty per unplaced block; overlapping candidates are *illegal moves*,
+which the paper ties directly to footprint irregularity: ragged skylines
+collide more, slowing convergence and inflating the final cost (§VIII:
+the estimator's tighter, more rectangular footprints converge 1.37x
+faster with 40% lower cost than constant CF = 1.68).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.device.column import ColumnKind
+from repro.device.grid import DeviceGrid
+from repro.flow.blockdesign import BlockDesign
+from repro.place.shapes import Footprint
+
+__all__ = ["SAParams", "StitchResult", "stitch"]
+
+_HARD_KINDS = (ColumnKind.BRAM, ColumnKind.DSP)
+_HARD_PITCH = 5  # CLB rows per BRAM/DSP site
+
+
+@dataclass(frozen=True)
+class SAParams:
+    """Annealing schedule and move mix."""
+
+    max_iters: int = 60000
+    steps_per_temp: int = 250
+    alpha: float = 0.95
+    patience: int = 6000
+    #: Cost charged per CLB of unplaced block area (drives the placer to
+    #: place everything it can before polishing wirelength).
+    unplaced_weight: float = 40.0
+    #: Probability of attempting to place an unplaced block per move.
+    p_place: float = 0.15
+    #: Probability of a same-module swap per move.
+    p_swap: float = 0.15
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class StitchResult:
+    """Outcome of one stitching run.
+
+    Attributes
+    ----------
+    placements:
+        Anchor ``(x, y)`` per instance, or ``None`` if unplaced.
+    n_placed, n_unplaced:
+        Placement counts (Fig. 5's headline metric).
+    wirelength:
+        Final weighted HPWL over inter-block edges.
+    final_cost:
+        Wirelength plus unplaced penalties (the SA objective).
+    iterations:
+        Total SA iterations executed.
+    converged_at:
+        Iteration at which the SA first came within 1% of its final cost
+        (the paper's convergence-speed metric compares this across CF
+        policies; footprint irregularity slows the descent).
+    illegal_moves:
+        Rejected-by-overlap move count.
+    history:
+        Best-cost trajectory as ``(iteration, cost)`` improvement points.
+    occupancy:
+        Final occupancy grid (columns x CLB rows), for rendering.
+    """
+
+    placements: dict[str, tuple[int, int] | None]
+    n_placed: int
+    n_unplaced: int
+    wirelength: float
+    final_cost: float
+    iterations: int
+    converged_at: int
+    illegal_moves: int
+    history: tuple[tuple[int, float], ...] = field(
+        compare=False, repr=False, default=()
+    )
+    occupancy: np.ndarray = field(compare=False, repr=False, default=None)
+
+    def iters_to_cost(self, target: float) -> int | None:
+        """First iteration whose best cost is <= ``target``.
+
+        The time-to-target metric annealing comparisons use: how fast one
+        run reaches the quality another run ends at.  ``None`` if the run
+        never got there.
+        """
+        for it, c in self.history:
+            if c <= target + 1e-9:
+                return it
+        return None
+
+    def render(self, max_width: int = 100) -> str:
+        """ASCII view of the occupancy (Fig. 5 / Fig. 13 style)."""
+        occ = self.occupancy
+        if occ is None:
+            return "<no occupancy recorded>"
+        cols, rows = occ.shape
+        step = max(1, math.ceil(cols / max_width))
+        lines = []
+        for y in range(rows - 1, -1, -max(1, rows // 40)):
+            line = "".join(
+                "#" if occ[x : x + step, y].any() else "."
+                for x in range(0, cols, step)
+            )
+            lines.append(line)
+        return "\n".join(lines)
+
+
+class _Stitcher:
+    """Mutable state of one annealing run."""
+
+    def __init__(
+        self,
+        grid: DeviceGrid,
+        names: list[str],
+        footprints: list[Footprint],
+        edges: list[tuple[int, int, int]],
+        params: SAParams,
+    ) -> None:
+        self.grid = grid
+        self.names = names
+        self.fps = footprints
+        self.edges = edges
+        self.params = params
+        self.n = len(names)
+        self.occ = np.zeros((grid.n_cols, grid.height_clbs), dtype=np.int16)
+        self.pos: list[tuple[int, int] | None] = [None] * self.n
+        self.heights = [fp.heights_array() for fp in footprints]
+        self.areas = [fp.occupied_clbs for fp in footprints]
+        self.anchors_x = [
+            grid.compatible_x_anchors(fp.col_kinds) for fp in footprints
+        ]
+        self.y_step = [
+            _HARD_PITCH if any(k in _HARD_KINDS for k in fp.col_kinds) else 1
+            for fp in footprints
+        ]
+        self.y_max = [grid.height_clbs - fp.max_height for fp in footprints]
+        # Incident edges per instance for O(deg) cost deltas.
+        self.incident: list[list[int]] = [[] for _ in range(self.n)]
+        for ei, (a, b, _w) in enumerate(edges):
+            self.incident[a].append(ei)
+            self.incident[b].append(ei)
+        self.rng = np.random.default_rng(params.seed)
+        self.illegal = 0
+
+    # --------------------------------------------------------------- geometry
+
+    def fits(self, i: int, x: int, y: int) -> bool:
+        hs = self.heights[i]
+        occ = self.occ
+        for c in range(hs.shape[0]):
+            h = hs[c]
+            if h and occ[x + c, y : y + h].any():
+                return False
+        return True
+
+    def paint(self, i: int, x: int, y: int, delta: int) -> None:
+        hs = self.heights[i]
+        for c in range(hs.shape[0]):
+            h = hs[c]
+            if h:
+                self.occ[x + c, y : y + h] += delta
+
+    def center(self, i: int) -> tuple[float, float]:
+        p = self.pos[i]
+        assert p is not None
+        fp = self.fps[i]
+        return (p[0] + fp.width / 2.0, p[1] + fp.max_height / 2.0)
+
+    # --------------------------------------------------------------- cost
+
+    def edge_cost(self, ei: int) -> float:
+        a, b, w = self.edges[ei]
+        if self.pos[a] is None or self.pos[b] is None:
+            return 0.0
+        ax, ay = self.center(a)
+        bx, by = self.center(b)
+        return w * (abs(ax - bx) + abs(ay - by))
+
+    def incident_cost(self, i: int) -> float:
+        return sum(self.edge_cost(ei) for ei in self.incident[i])
+
+    def total_cost(self) -> float:
+        wl = sum(self.edge_cost(ei) for ei in range(len(self.edges)))
+        pen = self.params.unplaced_weight * sum(
+            self.areas[i] for i in range(self.n) if self.pos[i] is None
+        )
+        return wl + pen
+
+    def wirelength(self) -> float:
+        return sum(self.edge_cost(ei) for ei in range(len(self.edges)))
+
+    # --------------------------------------------------------------- initial
+
+    def greedy_initial(self) -> None:
+        """Tallest-first best-fit packing.
+
+        For each block, all compatible x anchors are scanned and the
+        globally lowest fitting position is taken, which keeps the
+        skyline level — the classic strip-packing heuristic.  Blocks are
+        ordered by height, then area, so tall blocks claim full columns
+        before shorter ones fragment them.
+        """
+        order = sorted(
+            range(self.n),
+            key=lambda i: (-self.fps[i].max_height, -self.areas[i]),
+        )
+        for i in order:
+            best: tuple[int, int] | None = None
+            for x in self.anchors_x[i]:
+                for y in range(0, self.y_max[i] + 1, self.y_step[i]):
+                    if best is not None and y >= best[1]:
+                        break  # cannot beat the current best in this column
+                    if self.fits(i, x, y):
+                        if best is None or y < best[1]:
+                            best = (x, y)
+                        break
+            if best is not None:
+                self.pos[i] = best
+                self.paint(i, best[0], best[1], +1)
+
+    # --------------------------------------------------------------- moves
+
+    def random_site(self, i: int) -> tuple[int, int] | None:
+        xs = self.anchors_x[i]
+        if not xs or self.y_max[i] < 0:
+            return None
+        x = int(xs[self.rng.integers(len(xs))])
+        n_y = self.y_max[i] // self.y_step[i] + 1
+        y = int(self.rng.integers(n_y)) * self.y_step[i]
+        return x, y
+
+    def try_move(self, i: int, temp: float) -> float:
+        """Relocate instance ``i``; returns the accepted cost delta."""
+        site = self.random_site(i)
+        if site is None:
+            return 0.0
+        old = self.pos[i]
+        assert old is not None
+        self.paint(i, old[0], old[1], -1)
+        x, y = site
+        if not self.fits(i, x, y):
+            self.paint(i, old[0], old[1], +1)
+            self.illegal += 1
+            return 0.0
+        before = self.incident_cost(i)
+        self.pos[i] = (x, y)
+        after = self.incident_cost(i)
+        delta = after - before
+        if delta <= 0 or self.rng.random() < math.exp(-delta / max(temp, 1e-9)):
+            self.paint(i, x, y, +1)
+            return delta
+        self.pos[i] = old
+        self.paint(i, old[0], old[1], +1)
+        return 0.0
+
+    def try_place(self, i: int) -> float:
+        """Attempt to place an unplaced instance (always beneficial)."""
+        for _ in range(8):
+            site = self.random_site(i)
+            if site is None:
+                return 0.0
+            x, y = site
+            if self.fits(i, x, y):
+                self.pos[i] = (x, y)
+                self.paint(i, x, y, +1)
+                gain = self.incident_cost(i) - self.params.unplaced_weight * self.areas[i]
+                return gain
+            self.illegal += 1
+        return 0.0
+
+    def try_swap(self, i: int, j: int, temp: float) -> float:
+        """Swap two placed instances with identical footprints."""
+        pi, pj = self.pos[i], self.pos[j]
+        if pi is None or pj is None or pi == pj:
+            return 0.0
+        before = self.incident_cost(i) + self.incident_cost(j)
+        self.pos[i], self.pos[j] = pj, pi
+        after = self.incident_cost(i) + self.incident_cost(j)
+        delta = after - before
+        if delta <= 0 or self.rng.random() < math.exp(-delta / max(temp, 1e-9)):
+            return delta  # identical footprints: occupancy is unchanged
+        self.pos[i], self.pos[j] = pi, pj
+        return 0.0
+
+
+def stitch(
+    design: BlockDesign,
+    footprints: dict[str, Footprint],
+    grid: DeviceGrid,
+    params: SAParams | None = None,
+) -> StitchResult:
+    """Place all instances of ``design`` on ``grid``.
+
+    Parameters
+    ----------
+    design:
+        The block design (instances + connectivity).
+    footprints:
+        Per *module* footprint from pre-implementation; every instance of
+        a module reuses the same relocatable footprint.
+    grid:
+        Target device.
+    params:
+        Annealing parameters.
+
+    Returns
+    -------
+    StitchResult
+        Placement, cost and convergence metrics.
+    """
+    params = params or SAParams()
+    design.validate()
+    missing = {i.module for i in design.instances} - set(footprints)
+    if missing:
+        raise KeyError(f"missing footprints for modules: {sorted(missing)}")
+
+    names = [i.name for i in design.instances]
+    index = {n: k for k, n in enumerate(names)}
+    fps = [footprints[i.module].trimmed() for i in design.instances]
+    edges = [(index[e.src], index[e.dst], e.width) for e in design.edges]
+
+    st = _Stitcher(grid, names, fps, edges, params)
+    st.greedy_initial()
+
+    # Same-module groups for swap moves.
+    groups: dict[str, list[int]] = {}
+    for k, inst in enumerate(design.instances):
+        groups.setdefault(inst.module, []).append(k)
+    swappable = [g for g in groups.values() if len(g) > 1]
+
+    cost = st.total_cost()
+    best = cost
+    improvements: list[tuple[int, float]] = [(0, best)]
+    last_improve = 0
+    # Initial temperature: accept ~half of typical uphill deltas.
+    temp = max(1.0, 0.05 * cost / max(1, len(edges)))
+
+    rng = st.rng
+    it = 0
+    # Placed/unplaced membership only changes on successful place moves,
+    # so the candidate lists are maintained incrementally.
+    placed_list = [i for i in range(st.n) if st.pos[i] is not None]
+    unplaced_list = [i for i in range(st.n) if st.pos[i] is None]
+    while it < params.max_iters:
+        for _ in range(params.steps_per_temp):
+            it += 1
+            r = rng.random()
+            if unplaced_list and r < params.p_place:
+                k = int(rng.integers(len(unplaced_list)))
+                i = unplaced_list[k]
+                delta = st.try_place(i)
+                if st.pos[i] is not None:
+                    unplaced_list[k] = unplaced_list[-1]
+                    unplaced_list.pop()
+                    placed_list.append(i)
+                cost += delta
+            elif swappable and r < params.p_place + params.p_swap:
+                g = swappable[int(rng.integers(len(swappable)))]
+                i, j = rng.choice(len(g), size=2, replace=False)
+                cost += st.try_swap(g[int(i)], g[int(j)], temp)
+            else:
+                if not placed_list:
+                    continue
+                i = placed_list[int(rng.integers(len(placed_list)))]
+                cost += st.try_move(i, temp)
+            if cost < best - 1e-9:
+                best = cost
+                improvements.append((it, best))
+                last_improve = it
+            if it >= params.max_iters:
+                break
+        temp *= params.alpha
+        if it - last_improve > params.patience:
+            break
+
+    # Final deterministic fill: first-fit any block SA left unplaced (the
+    # random place moves only sample a few sites per attempt).
+    for i in range(st.n):
+        if st.pos[i] is not None:
+            continue
+        done = False
+        for x in st.anchors_x[i]:
+            if done:
+                break
+            for y in range(0, st.y_max[i] + 1, st.y_step[i]):
+                if st.fits(i, x, y):
+                    st.pos[i] = (x, y)
+                    st.paint(i, x, y, +1)
+                    done = True
+                    break
+
+    # Convergence point: the first iteration whose best cost is within 1%
+    # of the total descent from the final cost.
+    initial_cost = improvements[0][1]
+    final_best = improvements[-1][1]
+    threshold = final_best + 0.01 * max(0.0, initial_cost - final_best)
+    converged_at = next(
+        (it_ for it_, c in improvements if c <= threshold), improvements[-1][0]
+    )
+
+    placements = {
+        names[i]: (st.pos[i] if st.pos[i] is None else tuple(st.pos[i]))
+        for i in range(st.n)
+    }
+    n_placed = sum(1 for p in st.pos if p is not None)
+    return StitchResult(
+        placements=placements,
+        n_placed=n_placed,
+        n_unplaced=st.n - n_placed,
+        wirelength=st.wirelength(),
+        final_cost=st.total_cost(),
+        iterations=it,
+        converged_at=converged_at,
+        illegal_moves=st.illegal,
+        history=tuple(improvements),
+        occupancy=st.occ.copy(),
+    )

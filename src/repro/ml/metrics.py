@@ -1,0 +1,66 @@
+"""Regression metrics.
+
+The paper reports the *mean relative error* (|pred - true| / true) for
+Table II and the *median absolute error* for the cnvW1A1 transfer study
+(Fig. 11); both are provided along with the standard MSE/MAE/R².
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mean_squared_error",
+    "mean_absolute_error",
+    "mean_relative_error",
+    "median_absolute_relative_error",
+    "r2_score",
+]
+
+
+def _check(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty inputs")
+    return y_true, y_pred
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean of squared residuals (the training loss of the NN/RF, §VI-B)."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean of absolute residuals."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mean_relative_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean of ``|pred - true| / true`` (Table II's metric)."""
+    y_true, y_pred = _check(y_true, y_pred)
+    if np.any(y_true == 0):
+        raise ValueError("relative error undefined for zero targets")
+    return float(np.mean(np.abs(y_pred - y_true) / np.abs(y_true)))
+
+
+def median_absolute_relative_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Median of ``|pred - true| / true`` (Fig. 11's metric)."""
+    y_true, y_pred = _check(y_true, y_pred)
+    if np.any(y_true == 0):
+        raise ValueError("relative error undefined for zero targets")
+    return float(np.median(np.abs(y_pred - y_true) / np.abs(y_true)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination."""
+    y_true, y_pred = _check(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - np.mean(y_true)) ** 2))
+    if ss_tot == 0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot

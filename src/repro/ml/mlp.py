@@ -1,0 +1,135 @@
+"""One-hidden-layer MLP regressor with ReLU and ADAM (paper §VI-B).
+
+The paper's network: a single fully connected hidden layer (25 neurons is
+robust for their inputs), ReLU nonlinearity, ADAM minimizing MSE, no
+dropout.  Inputs and targets are standardized internally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import stream
+
+__all__ = ["MLPRegressor"]
+
+
+class MLPRegressor:
+    """Shallow feed-forward regressor.
+
+    Parameters
+    ----------
+    hidden:
+        Hidden-layer width (paper: 25).
+    epochs:
+        Training epochs over the full set.
+    batch_size:
+        Minibatch size.
+    lr:
+        ADAM step size.
+    seed:
+        Initialization/shuffling seed.
+    """
+
+    def __init__(
+        self,
+        hidden: int = 25,
+        epochs: int = 400,
+        batch_size: int = 32,
+        lr: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        if hidden < 1:
+            raise ValueError(f"hidden must be >= 1, got {hidden}")
+        if epochs < 1 or batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+        self._params: dict[str, np.ndarray] | None = None
+        self.loss_history_: list[float] = []
+
+    # ------------------------------------------------------------------ fit
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPRegressor":
+        """Train with ADAM on standardized data."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise ValueError(f"bad shapes: X{X.shape}, y{y.shape}")
+        n, d = X.shape
+        if n < 2:
+            raise ValueError("need at least 2 samples")
+
+        self._x_mu = X.mean(axis=0)
+        x_sd = X.std(axis=0)
+        x_sd[x_sd == 0] = 1.0
+        self._x_sd = x_sd
+        self._y_mu = float(y.mean())
+        self._y_sd = float(y.std()) or 1.0
+        Z = (X - self._x_mu) / self._x_sd
+        t = (y - self._y_mu) / self._y_sd
+
+        rng = stream(self.seed, "mlp", "init")
+        h = self.hidden
+        params = {
+            "W1": rng.normal(0.0, np.sqrt(2.0 / d), size=(d, h)),
+            "b1": np.zeros(h),
+            "W2": rng.normal(0.0, np.sqrt(2.0 / h), size=(h, 1)),
+            "b2": np.zeros(1),
+        }
+        m = {k: np.zeros_like(v) for k, v in params.items()}
+        v = {k: np.zeros_like(v_) for k, v_ in params.items()}
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        self.loss_history_ = []
+        shuffle_rng = stream(self.seed, "mlp", "shuffle")
+
+        for _epoch in range(self.epochs):
+            order = shuffle_rng.permutation(n)
+            epoch_loss = 0.0
+            for lo in range(0, n, self.batch_size):
+                batch = order[lo : lo + self.batch_size]
+                xb, tb = Z[batch], t[batch]
+                # Forward.
+                a1 = xb @ params["W1"] + params["b1"]
+                h1 = np.maximum(a1, 0.0)
+                out = (h1 @ params["W2"] + params["b2"]).ravel()
+                err = out - tb
+                epoch_loss += float((err**2).sum())
+                # Backward (MSE).
+                g_out = (2.0 / batch.size) * err[:, None]
+                grads = {
+                    "W2": h1.T @ g_out,
+                    "b2": g_out.sum(axis=0),
+                }
+                g_h = (g_out @ params["W2"].T) * (a1 > 0)
+                grads["W1"] = xb.T @ g_h
+                grads["b1"] = g_h.sum(axis=0)
+                # ADAM update.
+                step += 1
+                for k in params:
+                    m[k] = beta1 * m[k] + (1 - beta1) * grads[k]
+                    v[k] = beta2 * v[k] + (1 - beta2) * grads[k] ** 2
+                    m_hat = m[k] / (1 - beta1**step)
+                    v_hat = v[k] / (1 - beta2**step)
+                    params[k] -= self.lr * m_hat / (np.sqrt(v_hat) + eps)
+            self.loss_history_.append(epoch_loss / n)
+        self._params = params
+        return self
+
+    # ------------------------------------------------------------------ predict
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets; requires a prior :meth:`fit`."""
+        if self._params is None:
+            raise RuntimeError("predict() before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        Z = (X - self._x_mu) / self._x_sd
+        h1 = np.maximum(Z @ self._params["W1"] + self._params["b1"], 0.0)
+        out = (h1 @ self._params["W2"] + self._params["b2"]).ravel()
+        return out * self._y_sd + self._y_mu

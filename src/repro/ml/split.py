@@ -1,0 +1,47 @@
+"""Deterministic dataset splits (80/20 train/test, optional k-fold)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import stream
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["train_test_split", "kfold_indices"]
+
+
+def train_test_split(
+    n_samples: int, test_fraction: float = 0.2, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shuffled index split.
+
+    Returns ``(train_idx, test_idx)``; the paper holds out 20% (§VII).
+    """
+    check_positive(n_samples, "n_samples")
+    check_in_range(test_fraction, "test_fraction", 0.0, 1.0, inclusive=False)
+    rng = stream(seed, "split", n_samples, test_fraction)
+    order = rng.permutation(n_samples)
+    n_test = max(1, int(round(n_samples * test_fraction)))
+    if n_test >= n_samples:
+        raise ValueError(
+            f"test_fraction={test_fraction} leaves no training samples"
+        )
+    return np.sort(order[n_test:]), np.sort(order[:n_test])
+
+
+def kfold_indices(
+    n_samples: int, k: int = 5, seed: int = 0
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """K shuffled folds as ``(train_idx, test_idx)`` pairs."""
+    check_positive(n_samples, "n_samples")
+    if not 2 <= k <= n_samples:
+        raise ValueError(f"k must be in [2, {n_samples}], got {k}")
+    rng = stream(seed, "kfold", n_samples, k)
+    order = rng.permutation(n_samples)
+    folds = np.array_split(order, k)
+    out = []
+    for i in range(k):
+        test = np.sort(folds[i])
+        train = np.sort(np.concatenate([folds[j] for j in range(k) if j != i]))
+        out.append((train, test))
+    return out

@@ -1,0 +1,238 @@
+"""CART regression tree (MSE criterion) with impurity feature importances.
+
+The paper's single-DT estimator uses depth 20 (§VI-B); Figs. 9/12 read the
+impurity-based importances off this implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import stream
+
+__all__ = ["DecisionTreeRegressor"]
+
+
+class _Node:
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self) -> None:
+        self.feature = -1
+        self.threshold = 0.0
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+        self.value = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeRegressor:
+    """Binary regression tree grown greedily on variance reduction.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (paper: 20).
+    min_samples_leaf:
+        Minimum samples per leaf.
+    min_samples_split:
+        Minimum samples for a node to be split.
+    max_features:
+        Features considered per split: ``None`` (all), an int, or
+        ``"sqrt"`` / ``"third"`` — the forest uses subsampling for
+        de-correlation.
+    seed:
+        Seed for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 20,
+        min_samples_leaf: int = 1,
+        min_samples_split: int = 2,
+        max_features: int | str | None = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_leaf < 1 or min_samples_split < 2:
+            raise ValueError("min_samples_leaf >= 1 and min_samples_split >= 2")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self._root: _Node | None = None
+        self._n_features = 0
+        self.feature_importances_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ fit
+
+    def _n_candidate_features(self) -> int:
+        if self.max_features is None:
+            return self._n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(self._n_features)))
+        if self.max_features == "third":
+            return max(1, self._n_features // 3)
+        if isinstance(self.max_features, int) and self.max_features >= 1:
+            return min(self.max_features, self._n_features)
+        raise ValueError(f"bad max_features: {self.max_features!r}")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        """Grow the tree on ``(n_samples, n_features)`` data."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise ValueError(f"bad shapes: X{X.shape}, y{y.shape}")
+        if X.shape[0] == 0:
+            raise ValueError("empty training set")
+        self._n_features = X.shape[1]
+        self._importance = np.zeros(self._n_features)
+        self._rng = stream(self.seed, "dtree")
+        self._flat = None  # invalidate the prediction cache
+        self._root = self._grow(X, y, np.arange(X.shape[0]), depth=0)
+        total = self._importance.sum()
+        self.feature_importances_ = (
+            self._importance / total if total > 0 else self._importance.copy()
+        )
+        return self
+
+    def _grow(
+        self, X: np.ndarray, y: np.ndarray, idx: np.ndarray, depth: int
+    ) -> _Node:
+        node = _Node()
+        node.value = float(y[idx].mean())
+        n = idx.size
+        if (
+            depth >= self.max_depth
+            or n < self.min_samples_split
+            or np.ptp(y[idx]) == 0.0
+        ):
+            return node
+
+        k = self._n_candidate_features()
+        if k < self._n_features:
+            features = self._rng.choice(self._n_features, size=k, replace=False)
+        else:
+            features = np.arange(self._n_features)
+
+        best = self._best_split(X, y, idx, features)
+        if best is None:
+            return node
+        feat, thr, gain, left_mask = best
+        node.feature = int(feat)
+        node.threshold = float(thr)
+        self._importance[feat] += gain
+        node.left = self._grow(X, y, idx[left_mask], depth + 1)
+        node.right = self._grow(X, y, idx[~left_mask], depth + 1)
+        return node
+
+    def _best_split(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        idx: np.ndarray,
+        features: np.ndarray,
+    ) -> tuple[int, float, float, np.ndarray] | None:
+        yv = y[idx]
+        n = idx.size
+        sum_all = yv.sum()
+        sq_all = float((yv**2).sum())
+        node_sse = sq_all - sum_all**2 / n
+
+        best_gain = 1e-12
+        best: tuple[int, float, float, np.ndarray] | None = None
+        m = self.min_samples_leaf
+        for f in features:
+            xv = X[idx, f]
+            order = np.argsort(xv, kind="stable")
+            xs = xv[order]
+            ys = yv[order]
+            csum = np.cumsum(ys)
+            csq = np.cumsum(ys**2)
+            # Split after position i (1-based count of left samples).
+            counts = np.arange(1, n)
+            valid = (xs[:-1] < xs[1:]) & (counts >= m) & (n - counts >= m)
+            if not valid.any():
+                continue
+            left_sse = csq[:-1] - csum[:-1] ** 2 / counts
+            right_sum = sum_all - csum[:-1]
+            right_sq = sq_all - csq[:-1]
+            right_sse = right_sq - right_sum**2 / (n - counts)
+            gain = node_sse - (left_sse + right_sse)
+            gain[~valid] = -np.inf
+            i = int(np.argmax(gain))
+            if gain[i] > best_gain:
+                thr = (xs[i] + xs[i + 1]) / 2.0
+                best_gain = float(gain[i])
+                best = (int(f), thr, best_gain, X[idx, f] <= thr)
+        return best
+
+    # ------------------------------------------------------------------ predict
+
+    def _flatten(self) -> None:
+        """Cache the tree as arrays for vectorized prediction."""
+        feats: list[int] = []
+        thrs: list[float] = []
+        lefts: list[int] = []
+        rights: list[int] = []
+        values: list[float] = []
+
+        def visit(node: _Node) -> int:
+            idx = len(feats)
+            feats.append(node.feature)
+            thrs.append(node.threshold)
+            lefts.append(-1)
+            rights.append(-1)
+            values.append(node.value)
+            if not node.is_leaf:
+                lefts[idx] = visit(node.left)
+                rights[idx] = visit(node.right)
+            return idx
+
+        visit(self._root)
+        self._flat = (
+            np.asarray(feats, dtype=np.int32),
+            np.asarray(thrs, dtype=np.float64),
+            np.asarray(lefts, dtype=np.int32),
+            np.asarray(rights, dtype=np.int32),
+            np.asarray(values, dtype=np.float64),
+        )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets; requires a prior :meth:`fit`.
+
+        Prediction walks all rows level-by-level over the flattened node
+        arrays, so it is vectorized across samples.
+        """
+        if self._root is None:
+            raise RuntimeError("predict() before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        if getattr(self, "_flat", None) is None:
+            self._flatten()
+        feats, thrs, lefts, rights, values = self._flat
+        idx = np.zeros(X.shape[0], dtype=np.int32)
+        active = lefts[idx] >= 0
+        rows = np.arange(X.shape[0])
+        while active.any():
+            cur = idx[active]
+            go_left = (
+                X[rows[active], feats[cur]] <= thrs[cur]
+            )
+            idx[active] = np.where(go_left, lefts[cur], rights[cur])
+            active = lefts[idx] >= 0
+        return values[idx]
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree."""
+        def _d(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(_d(node.left), _d(node.right))
+
+        if self._root is None:
+            raise RuntimeError("depth() before fit()")
+        return _d(self._root)

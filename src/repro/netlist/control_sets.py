@@ -1,0 +1,42 @@
+"""Flip-flop control sets.
+
+A control set is the (clock, reset, enable) signal triple steering a
+register (paper §V-B, after UG949).  Registers of different control sets
+cannot share a slice, so many small control sets fragment FF packing —
+one of the main drivers of the minimal feasible correction factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ControlSet"]
+
+
+@dataclass(frozen=True)
+class ControlSet:
+    """One (clock, reset, enable) group.
+
+    Attributes
+    ----------
+    clock, reset, enable:
+        Signal names; ``""`` means the pin is unused (e.g. no enable).
+    """
+
+    clock: str
+    reset: str = ""
+    enable: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        """Hashable identity used to merge equal control sets."""
+        return (self.clock, self.reset, self.enable)
+
+    @property
+    def has_reset(self) -> bool:
+        """True if the set uses a set/reset signal."""
+        return bool(self.reset)
+
+    @property
+    def has_enable(self) -> bool:
+        """True if the set uses a clock-enable signal."""
+        return bool(self.enable)

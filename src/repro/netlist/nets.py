@@ -1,0 +1,41 @@
+"""Nets.
+
+For placement and feature extraction only the *fanout distribution* of a
+module matters (paper §V-D: high fanin/fanout means more routing effort),
+so nets store a driver name and a load count rather than full pin lists.
+This keeps netlists with thousands of cells cheap while preserving every
+quantity the paper's models consume (max fanout, pin counts).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Net"]
+
+
+class Net:
+    """One net: a driver and ``fanout`` loads.
+
+    Attributes
+    ----------
+    name:
+        Net name, unique within the netlist.
+    fanout:
+        Number of load pins (>= 0; 0 models a dangling output that
+        ``opt_design`` would strip).
+    is_control:
+        True for clock/reset/enable nets; these ride dedicated routing and
+        are excluded from congestion estimates but counted for control
+        sets.
+    """
+
+    __slots__ = ("name", "fanout", "is_control")
+
+    def __init__(self, name: str, fanout: int, is_control: bool = False) -> None:
+        if fanout < 0:
+            raise ValueError(f"net {name}: fanout must be >= 0, got {fanout}")
+        self.name = name
+        self.fanout = fanout
+        self.is_control = is_control
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Net({self.name!r}, fanout={self.fanout})"

@@ -1,0 +1,152 @@
+"""Aggregate netlist statistics.
+
+:class:`NetlistStats` is the single summary consumed by the quick placer,
+the PBlock packer, the timing model and feature extraction.  It is computed
+once per netlist and cached on the netlist object.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.netlist.cells import CellKind
+from repro.netlist.netlist import Netlist
+
+__all__ = ["NetlistStats", "compute_stats"]
+
+_CARRY_BITS = 4
+_FFS_PER_SLICE = 8
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Aggregates of one module netlist.
+
+    Counting conventions match the paper: ``n_carry4`` is the number of
+    carry *slices* (CARRY4 segments, i.e. "carry cells"); ``carry_chain_slices``
+    lists per-chain slice lengths for the geometry check.
+    """
+
+    name: str
+    n_lut: int
+    n_ff: int
+    n_srl: int
+    n_lutram: int
+    n_bram: int
+    n_dsp: int
+    n_carry4: int
+    carry_chain_slices: tuple[int, ...]
+    n_control_sets: int
+    ff_per_control_set: tuple[int, ...]
+    max_fanout: int
+    mean_fanout: float
+    total_pins: int
+    avg_lut_inputs: float
+    logic_depth: int
+    n_cells: int
+    n_nets: int
+
+    # ------------------------------------------------------------- derived
+
+    @property
+    def n_logic_luts(self) -> int:
+        """LUT sites used for logic (excluding SRL/LUTRAM sites)."""
+        return self.n_lut
+
+    @property
+    def n_m_lut_sites(self) -> int:
+        """LUT sites that must be in M slices."""
+        return self.n_srl + self.n_lutram
+
+    @property
+    def ff_slice_demand(self) -> int:
+        """FF slice demand under control-set exclusivity (paper §V-B)."""
+        return sum(math.ceil(n / _FFS_PER_SLICE) for n in self.ff_per_control_set)
+
+    @property
+    def max_chain_slices(self) -> int:
+        """Tallest carry chain, in slices (0 when there are no chains)."""
+        return max(self.carry_chain_slices, default=0)
+
+    @property
+    def total_sites(self) -> int:
+        """All primitive sites; used to normalize relative features."""
+        return (
+            self.n_lut
+            + self.n_ff
+            + self.n_srl
+            + self.n_lutram
+            + self.n_carry4
+            + self.n_bram
+            + self.n_dsp
+        )
+
+    def is_trivial(self) -> bool:
+        """True for one-or-two-tile modules the paper excludes from the
+        estimator study (§VIII keeps 63 of cnvW1A1's 74 modules).
+
+        A couple of tiles hold ~8 slices (~64 primitive sites); any module
+        under that needs no estimator — its PBlock is quantization-driven.
+        """
+        if self.n_bram + self.n_dsp > 0:
+            return False
+        return (
+            self.n_lut + self.n_ff + self.n_srl + self.n_lutram + self.n_carry4
+            <= 64
+        )
+
+
+def compute_stats(netlist: Netlist) -> NetlistStats:
+    """Compute (and cache) the aggregate statistics of ``netlist``."""
+    cached = getattr(netlist, "_stats", None)
+    if cached is not None:
+        return cached
+
+    counts = {kind: 0 for kind in CellKind}
+    ff_by_cs: dict[int, int] = {}
+    lut_inputs_sum = 0
+    cs_used: set[int] = set()
+    for cell in netlist.cells:
+        counts[cell.kind] += 1
+        if cell.kind is CellKind.LUT:
+            lut_inputs_sum += cell.inputs
+        if cell.kind is CellKind.FF:
+            ff_by_cs[cell.control_set] = ff_by_cs.get(cell.control_set, 0) + 1
+        if cell.control_set >= 0:
+            cs_used.add(cell.control_set)
+
+    # Control nets (clock/reset/enable) ride dedicated routing, so only
+    # signal nets count toward the fanout features (paper §V-D).
+    fanouts = [n.fanout for n in netlist.nets if not n.is_control]
+    max_fanout = max(fanouts, default=0)
+    mean_fanout = (sum(fanouts) / len(fanouts)) if fanouts else 0.0
+    total_pins = sum(fanouts) + len(fanouts)  # loads + drivers (signal nets)
+
+    chain_slices = tuple(
+        math.ceil(bits / _CARRY_BITS) for bits in netlist.carry_chains
+    )
+    n_lut = counts[CellKind.LUT]
+
+    stats = NetlistStats(
+        name=netlist.name,
+        n_lut=n_lut,
+        n_ff=counts[CellKind.FF],
+        n_srl=counts[CellKind.SRL],
+        n_lutram=counts[CellKind.LUTRAM],
+        n_bram=counts[CellKind.BRAM36],
+        n_dsp=counts[CellKind.DSP48],
+        n_carry4=counts[CellKind.CARRY4],
+        carry_chain_slices=chain_slices,
+        n_control_sets=len(cs_used),
+        ff_per_control_set=tuple(sorted(ff_by_cs.values(), reverse=True)),
+        max_fanout=max_fanout,
+        mean_fanout=mean_fanout,
+        total_pins=total_pins,
+        avg_lut_inputs=(lut_inputs_sum / n_lut) if n_lut else 0.0,
+        logic_depth=netlist.logic_depth,
+        n_cells=netlist.n_cells,
+        n_nets=len(netlist.nets),
+    )
+    netlist._stats = stats
+    return stats

@@ -1,0 +1,28 @@
+"""PBlock area constraints and the Fig. 1 sizing algorithm.
+
+A :class:`~repro.pblock.pblock.PBlock` is a rectangle on the device grid.
+:func:`~repro.pblock.generator.build_pblock` reimplements RapidWright's
+generator: naive slice estimate x correction factor, shaped by the quick
+placement's aspect ratio and carry constraints, snapped to the column grid.
+:mod:`repro.pblock.cf_search` finds the minimal feasible CF by sweeping
+(paper §VI-C/§VII: start at 0.9, step 0.02).
+"""
+
+from repro.pblock.cf_search import (
+    CFSearchResult,
+    InfeasibleModuleError,
+    minimal_cf,
+    recommended_step,
+)
+from repro.pblock.generator import PBlockGenerationError, build_pblock
+from repro.pblock.pblock import PBlock
+
+__all__ = [
+    "CFSearchResult",
+    "InfeasibleModuleError",
+    "PBlock",
+    "PBlockGenerationError",
+    "build_pblock",
+    "minimal_cf",
+    "recommended_step",
+]

@@ -1,0 +1,117 @@
+"""PBlock generation (Fig. 1, right half).
+
+``target slices = naive estimate x CF``; the rectangle keeps the quick
+placement's aspect ratio, honors the carry-chain minimum height and
+includes enough CLB-LM / BRAM / DSP columns, then snaps to the column
+grid.  Snapping rounds capacity *up* to whole columns and rows — that
+quantization slack is why very small or BRAM-driven modules stay feasible
+at CFs well below 1 (paper §IV: "values below 0.7").
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.device.grid import DeviceGrid
+from repro.device.resources import BRAM36_PER_REGION_COLUMN, DSP48_PER_REGION_COLUMN
+from repro.netlist.stats import NetlistStats
+from repro.place.quick import ShapeReport
+from repro.pblock.pblock import PBlock
+from repro.utils.validation import check_positive
+
+__all__ = ["build_pblock", "PBlockGenerationError"]
+
+_SLICES_PER_CLB = 2
+
+
+class PBlockGenerationError(RuntimeError):
+    """The device cannot host a PBlock for the requested demand."""
+
+
+def build_pblock(
+    stats: NetlistStats,
+    report: ShapeReport,
+    cf: float,
+    grid: DeviceGrid,
+    *,
+    y0: int = 0,
+    start_x: int = 0,
+) -> PBlock:
+    """Size a PBlock for ``stats`` at correction factor ``cf``.
+
+    Parameters
+    ----------
+    stats:
+        Module statistics (for M/BRAM/DSP column demands).
+    report:
+        The quick placement's shape report.
+    cf:
+        Correction factor applied to ``report.est_slices``.
+    grid:
+        Target device.
+    y0:
+        Bottom CLB row of the rectangle (pre-implementation uses 0; the
+        stitcher relocates later).
+    start_x:
+        Leftmost column to consider.
+
+    Raises
+    ------
+    PBlockGenerationError
+        If no window of the device satisfies the column demands.
+    """
+    check_positive(cf, "cf")
+    target = max(1, math.ceil(report.est_slices * cf))
+
+    # Height: keep the quick placement's aspect ratio, at least as tall as
+    # the tallest carry chain, never taller than the device.
+    height = max(
+        report.min_height_clbs,
+        math.ceil(math.sqrt(target / (_SLICES_PER_CLB * max(report.aspect_ratio, 1e-6)))),
+    )
+    height = min(height, grid.height_clbs - y0)
+    if height < report.min_height_clbs:
+        raise PBlockGenerationError(
+            f"{stats.name}: carry chain of {report.min_height_clbs} slices "
+            f"exceeds device height {grid.height_clbs - y0}"
+        )
+
+    for _ in range(64):  # widen/grow until all column demands fit
+        clb_cols = max(1, math.ceil(target / (_SLICES_PER_CLB * height)))
+        m_cols = _cols_for(report.m_slice_demand, height)  # one M slice per row
+        bram_cols = _cols_for(stats.n_bram, height * BRAM36_PER_REGION_COLUMN // 50)
+        dsp_cols = _cols_for(stats.n_dsp, height * DSP48_PER_REGION_COLUMN // 50)
+        if (stats.n_bram and height * BRAM36_PER_REGION_COLUMN // 50 == 0) or (
+            stats.n_dsp and height * DSP48_PER_REGION_COLUMN // 50 == 0
+        ):
+            # Too short to contain even one hard-block site: grow.
+            height = min(grid.height_clbs - y0, height + 5)
+            continue
+        window = grid.find_window(
+            min_clb_cols=max(clb_cols, m_cols),
+            min_m_cols=m_cols,
+            min_bram_cols=bram_cols,
+            min_dsp_cols=dsp_cols,
+            start_x=start_x,
+        )
+        if window is not None:
+            x0, width = window
+            return PBlock(grid=grid, x0=x0, width=width, y0=y0, height=height)
+        if height < grid.height_clbs - y0:
+            # Not enough columns at this height: trade width for height.
+            height = min(grid.height_clbs - y0, height * 2)
+        else:
+            break
+    raise PBlockGenerationError(
+        f"{stats.name}: no feasible PBlock window on {grid.name} "
+        f"for target={target} slices (cf={cf:.2f})"
+    )
+
+
+def _cols_for(demand: int, per_col: int) -> int:
+    """Columns needed to supply ``demand`` sites at ``per_col`` each."""
+    if demand <= 0:
+        return 0
+    if per_col <= 0:
+        return 10**9  # impossible at this height; caller grows the height
+    return math.ceil(demand / per_col)

@@ -1,0 +1,53 @@
+"""Routability model (paper §V-D).
+
+High-fanout nets and dense pin counts demand more routing channels, so the
+fraction of a PBlock's slices that can actually be used before routing
+fails drops below 1.  The detailed packer rejects placements whose demand
+exceeds this ceiling; the naive quick estimate ignores it — another gap the
+correction factor absorbs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.device.resources import ResourceCaps
+from repro.netlist.stats import NetlistStats
+
+__all__ = ["routable_utilization"]
+
+#: Ceiling for a module with trivial routing demand.
+_BASE_CEILING = 0.97
+#: Maximum penalty from a single very-high-fanout net.
+_FANOUT_PENALTY = 0.07
+#: Maximum penalty from overall pin density.
+_PIN_PENALTY = 0.06
+#: Pins per slice considered nominal (4 LUTs * ~4 pins + FF pins, shared).
+_NOMINAL_PINS_PER_SLICE = 17.0
+
+
+def routable_utilization(stats: NetlistStats, caps: ResourceCaps) -> float:
+    """Max usable fraction of ``caps.slices`` for this module.
+
+    Parameters
+    ----------
+    stats:
+        Module statistics (fanout and pin counts).
+    caps:
+        Capacities of the candidate PBlock.
+
+    Returns
+    -------
+    float
+        A ceiling in ``[0.80, 0.97]``.
+    """
+    if caps.slices <= 0:
+        return _BASE_CEILING
+    # One hot net needs detour channels: penalty grows with log fanout,
+    # saturating at fanout ~= 1000.
+    fan = max(1, stats.max_fanout)
+    fanout_term = _FANOUT_PENALTY * min(1.0, math.log10(fan) / 3.0)
+    # Overall pin pressure relative to the PBlock size.
+    density = stats.total_pins / (caps.slices * _NOMINAL_PINS_PER_SLICE)
+    pin_term = _PIN_PENALTY * min(1.0, density)
+    return max(0.80, _BASE_CEILING - fanout_term - pin_term)

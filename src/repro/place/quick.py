@@ -1,0 +1,130 @@
+"""Quick placement and the naive slice estimate (Fig. 1, left half).
+
+RapidWright synthesizes each module, runs a fast placement and derives (a)
+an estimated slice count from resource usage and (b) a shape report with
+the geometric constraints (carry-chain heights, aspect ratio).  The PBlock
+is then the estimate *times the correction factor*, snapped to the column
+grid.
+
+The estimate here deliberately uses fixed nominal packing constants and
+ignores control-set fragmentation and congestion — those are exactly the
+effects the CF must cover (paper §V), and modelling them here would make
+the minimal CF trivially 1.0.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.device.resources import BRAM36_PER_REGION_COLUMN, DSP48_PER_REGION_COLUMN
+from repro.netlist.stats import NetlistStats
+from repro.synth.packing import (
+    NOMINAL_LUT_INPUTS,
+    NOMINAL_SHARING,
+    lut_pack_efficiency,
+)
+
+__all__ = ["ShapeReport", "quick_place"]
+
+_LUTS_PER_SLICE = 4
+_FFS_PER_SLICE = 8
+_M_SITES_PER_SLICE = 4
+
+
+@dataclass(frozen=True)
+class ShapeReport:
+    """Output of the quick placement (Fig. 1 "shape report").
+
+    Attributes
+    ----------
+    est_slices:
+        Naive slice estimate the CF multiplies.
+    min_height_clbs:
+        Tallest carry chain in slices == minimum PBlock height in CLB rows
+        (paper §V-C).
+    est_width_cols, est_height_clbs:
+        Shape of the quick placement (CLB columns x CLB rows).
+    aspect_ratio:
+        ``est_width_cols / est_height_clbs``; the PBlock generator keeps
+        this ratio while scaling (Fig. 1 "W/L").
+    m_slice_demand:
+        M-type slices needed for SRL/LUTRAM sites.
+    bram36, dsp48:
+        Hard-block demands.
+    """
+
+    est_slices: int
+    min_height_clbs: int
+    est_width_cols: int
+    est_height_clbs: int
+    aspect_ratio: float
+    m_slice_demand: int
+    bram36: int
+    dsp48: int
+
+    @property
+    def shape_area_clbs(self) -> int:
+        """Quick-placement bounding-box area (a "placement feature")."""
+        return self.est_width_cols * self.est_height_clbs
+
+
+def naive_slice_estimate(stats: NetlistStats) -> int:
+    """The resource-based slice estimate (no fragmentation, no congestion)."""
+    lut_slices = math.ceil(
+        stats.n_lut / (_LUTS_PER_SLICE * lut_pack_efficiency(NOMINAL_LUT_INPUTS))
+    )
+    ff_slices = math.ceil(stats.n_ff / _FFS_PER_SLICE)  # ignores control sets
+    carry_slices = stats.n_carry4
+    m_slices = math.ceil(stats.n_m_lut_sites / _M_SITES_PER_SLICE)
+
+    demands = (lut_slices, ff_slices, carry_slices)
+    raw = sum(demands)
+    if raw == 0:
+        logic = 0.0
+    else:
+        dominant = max(demands)
+        # Naive: a fixed nominal sharing efficiency, blind to the module's
+        # actual resource balance and control sets (paper §V-B/E).
+        logic = dominant + (raw - dominant) * (1.0 - NOMINAL_SHARING)
+    return max(1, math.ceil(logic) + m_slices)
+
+
+def quick_place(stats: NetlistStats) -> ShapeReport:
+    """Run the quick placement for ``stats`` and build the shape report.
+
+    The quick placement shape targets a square region in CLB units (each
+    CLB column contributes 2 slices per row) stretched to honor the
+    tallest carry chain.
+    """
+    est = naive_slice_estimate(stats)
+    min_h = max(1, stats.max_chain_slices)
+
+    # Shape follows the fabric's tall aspect (CLB columns are ~2.5x fewer
+    # than CLB rows on the 7-series parts): height_clbs ~ 2.5 * width_cols,
+    # with width_cols * 2 * height == est.  Tall-narrow PBlocks also have
+    # more relocation anchors and pack better when stitched.
+    height = max(min_h, math.ceil(math.sqrt(est * 2.5 / 2.0)))
+    width = max(1, math.ceil(est / (2.0 * height)))
+
+    # Hard blocks widen the shape (their columns are interleaved).
+    bram_cols = 0
+    if stats.n_bram > 0:
+        per_col = max(1, height * BRAM36_PER_REGION_COLUMN // 50)
+        bram_cols = math.ceil(stats.n_bram / per_col)
+    dsp_cols = 0
+    if stats.n_dsp > 0:
+        per_col = max(1, height * DSP48_PER_REGION_COLUMN // 50)
+        dsp_cols = math.ceil(stats.n_dsp / per_col)
+    width += bram_cols + dsp_cols
+
+    return ShapeReport(
+        est_slices=est,
+        min_height_clbs=min_h,
+        est_width_cols=width,
+        est_height_clbs=height,
+        aspect_ratio=width / height,
+        m_slice_demand=math.ceil(stats.n_m_lut_sites / _M_SITES_PER_SLICE),
+        bram36=stats.n_bram,
+        dsp48=stats.n_dsp,
+    )

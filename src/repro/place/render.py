@@ -1,0 +1,66 @@
+"""ASCII rendering of module footprints (the Fig. 3 view).
+
+The paper's Fig. 3 contrasts the same module placed with CF 1.5
+(irregular) and the smallest feasible PBlock (near-rectangular); these
+helpers draw that contrast in a terminal.
+"""
+
+from __future__ import annotations
+
+from repro.device.column import ColumnKind
+from repro.place.shapes import Footprint
+
+__all__ = ["render_footprint", "render_side_by_side"]
+
+_GLYPH = {
+    ColumnKind.CLBLL: "#",
+    ColumnKind.CLBLM: "#",
+    ColumnKind.BRAM: "B",
+    ColumnKind.DSP: "D",
+}
+
+
+def render_footprint(
+    fp: Footprint, title: str = "", max_height: int = 24
+) -> str:
+    """Draw one footprint, bottom row last (fabric orientation).
+
+    Occupied CLB cells print as ``#`` (``B``/``D`` in hard-block
+    columns); empty bounding-box cells as ``.``.  Tall footprints are
+    vertically downsampled to ``max_height`` rows.
+    """
+    fp = fp.trimmed()
+    h = max(1, fp.max_height)
+    step = max(1, -(-h // max_height))  # ceil division
+    lines = []
+    for top in range(h - 1, -1, -step):
+        row = []
+        for c, kind in enumerate(fp.col_kinds):
+            # A cell prints occupied if any sampled row in its band is.
+            occupied = any(
+                fp.heights[c] > y for y in range(max(0, top - step + 1), top + 1)
+            )
+            row.append(_GLYPH.get(kind, "#") if occupied else ".")
+        lines.append("".join(row))
+    body = "\n".join(lines)
+    header = (
+        f"{title} ({fp.width}x{fp.max_height} CLBs, "
+        f"rect={fp.rectangularity:.2f})\n"
+        if title
+        else ""
+    )
+    return header + body
+
+
+def render_side_by_side(
+    left: Footprint, right: Footprint, labels: tuple[str, str] = ("a", "b"),
+    max_height: int = 24,
+) -> str:
+    """Render two footprints next to each other (the Fig. 3 layout)."""
+    a = render_footprint(left, labels[0], max_height).splitlines()
+    b = render_footprint(right, labels[1], max_height).splitlines()
+    width_a = max((len(line) for line in a), default=0)
+    rows = max(len(a), len(b))
+    a += [""] * (rows - len(a))
+    b += [""] * (rows - len(b))
+    return "\n".join(f"{la.ljust(width_a)}   |   {lb}" for la, lb in zip(a, b))

@@ -1,0 +1,12 @@
+"""Routing-delay and longest-path model.
+
+Reproduces the paper's Table I observation: tighter PBlocks use fewer
+slices but worsen timing, because higher utilization forces routing
+detours.  The model combines logic depth, congestion-dependent net delay,
+carry propagation and fanout/clock-region penalties.
+"""
+
+from repro.route.congestion_map import CongestionMap, congestion_map
+from repro.route.timing import TimingReport, longest_path
+
+__all__ = ["CongestionMap", "TimingReport", "congestion_map", "longest_path"]

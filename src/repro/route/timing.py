@@ -1,0 +1,84 @@
+"""Longest-path estimation after intra-PBlock routing.
+
+Delay model (7-series-flavoured constants):
+
+* each LUT level costs a logic delay plus one net hop;
+* net hops slow down super-linearly with slice utilization — the packer's
+  congestion ceiling rejects unroutable placements, and this model makes
+  the *routable but tight* region slower (Table I: CF 1.0 vs 1.5);
+* the longest carry chain adds its propagation time;
+* high-fanout nets add a distribution penalty;
+* PBlocks spanning a clock-region boundary pay skew (paper §IV: compact
+  PBlocks avoid clock distribution columns).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.netlist.stats import NetlistStats
+from repro.place.packer import PackResult
+from repro.pblock.pblock import PBlock
+from repro.utils.rng import module_noise
+
+__all__ = ["TimingReport", "longest_path"]
+
+_T_LUT = 0.124  # ns, LUT6 logic delay
+_T_NET = 0.45  # ns, lightly-loaded net hop
+_T_CARRY_PER_SLICE = 0.043  # ns per CARRY4 segment
+_T_FANOUT = 0.35  # ns scale of the fanout penalty
+_T_REGION_CROSS = 0.30  # ns clock-skew penalty
+_CONGESTION_GAIN = 1.9  # net-delay inflation at full utilization
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Longest-path breakdown for one placed module (all values ns)."""
+
+    logic_ns: float
+    net_ns: float
+    carry_ns: float
+    fanout_ns: float
+    skew_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        """The longest path."""
+        return self.logic_ns + self.net_ns + self.carry_ns + self.fanout_ns + self.skew_ns
+
+
+def longest_path(
+    stats: NetlistStats, result: PackResult, pblock: PBlock
+) -> TimingReport:
+    """Estimate the longest path of a feasible placement.
+
+    Raises
+    ------
+    ValueError
+        If ``result`` is infeasible (there is no routed design to time).
+    """
+    if not result.feasible:
+        raise ValueError(f"{stats.name}: cannot time an infeasible placement")
+
+    levels = max(1, stats.logic_depth)
+    util = result.utilization
+    # Net delay grows quadratically once utilization passes ~50%.
+    congestion = 1.0 + _CONGESTION_GAIN * max(0.0, util - 0.5) ** 2
+    # Wires also lengthen with the physical extent of the region.
+    span = math.sqrt(max(1, pblock.area_clbs))
+    spread = 1.0 + 0.012 * span
+    jitter = 1.0 + module_noise(stats.name, "timing", -0.03, 0.03)
+
+    net_ns = levels * _T_NET * congestion * spread * jitter
+    logic_ns = levels * _T_LUT
+    carry_ns = stats.max_chain_slices * _T_CARRY_PER_SLICE
+    fanout_ns = _T_FANOUT * math.log10(max(1, stats.max_fanout))
+    skew_ns = _T_REGION_CROSS if pblock.crosses_region_boundary() else 0.0
+    return TimingReport(
+        logic_ns=logic_ns,
+        net_ns=net_ns,
+        carry_ns=carry_ns,
+        fanout_ns=fanout_ns,
+        skew_ns=skew_ns,
+    )

@@ -1,0 +1,65 @@
+"""Parameterizable RTL generators (paper §VI-A).
+
+The paper trains its correction-factor estimator on ~2,000 synthetic RTL
+modules produced by a family of generators, each stressing one of the
+PBlock-size factors of §V:
+
+* :class:`~repro.rtlgen.shiftreg.ShiftRegGenerator` — mostly flip-flops,
+  parametrizable control sets and fanin (registers kept out of LUTs);
+* :class:`~repro.rtlgen.lutram.LutramGenerator` — no registers, mainly
+  LUTRAM, parametrizable width/depth;
+* :class:`~repro.rtlgen.carry.CarryGenerator` — sum of squares,
+  parametrizable data widths (carry chains);
+* :class:`~repro.rtlgen.lfsr.LfsrGenerator` — LFSR banks using FFs, LUTs,
+  carry and shift registers;
+* :class:`~repro.rtlgen.mixed.MixedGenerator` — the Fig. 6 template mixing
+  all resources to cover the design space.
+
+A module is described as an :class:`~repro.rtlgen.base.RTLModule` — a bag
+of :mod:`~repro.rtlgen.constructs` that the synthesis simulator
+(:mod:`repro.synth`) lowers to a technology-mapped netlist.
+:func:`~repro.rtlgen.sweep.generate_sweep` reproduces the paper's ~2,000
+module dataset.
+"""
+
+from repro.rtlgen.base import Generator, RTLModule
+from repro.rtlgen.carry import CarryGenerator
+from repro.rtlgen.constructs import (
+    BlockMemory,
+    Construct,
+    DistributedMemory,
+    FanoutTree,
+    LFSRBank,
+    MacArray,
+    Pipeline,
+    RandomLogicCloud,
+    ShiftRegisterBank,
+    SumOfSquares,
+)
+from repro.rtlgen.lfsr import LfsrGenerator
+from repro.rtlgen.lutram import LutramGenerator
+from repro.rtlgen.mixed import MixedGenerator
+from repro.rtlgen.shiftreg import ShiftRegGenerator
+from repro.rtlgen.sweep import all_generators, generate_sweep
+
+__all__ = [
+    "BlockMemory",
+    "CarryGenerator",
+    "Construct",
+    "DistributedMemory",
+    "FanoutTree",
+    "Generator",
+    "LFSRBank",
+    "LfsrGenerator",
+    "LutramGenerator",
+    "MacArray",
+    "MixedGenerator",
+    "Pipeline",
+    "RTLModule",
+    "RandomLogicCloud",
+    "ShiftRegGenerator",
+    "ShiftRegisterBank",
+    "SumOfSquares",
+    "all_generators",
+    "generate_sweep",
+]

@@ -1,0 +1,79 @@
+"""Generator API.
+
+Each generator family turns a point in its parameter space into an
+:class:`RTLModule`.  Generators expose ``sample(rng)`` to draw a random
+parameter point (used by the dataset sweep) and ``build(**params)`` for
+explicit instantiation (used by tests and the cnvW1A1 block library).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.rtlgen.constructs import Construct
+
+__all__ = ["RTLModule", "Generator"]
+
+
+@dataclass(frozen=True)
+class RTLModule:
+    """A module-level RTL description: a named bag of constructs.
+
+    Attributes
+    ----------
+    name:
+        Module name; must be unique within a dataset or block design
+        because per-module placer noise is keyed on it.
+    constructs:
+        The hardware content.
+    family:
+        Name of the generator family that produced it (dataset metadata).
+    params:
+        The generator parameters, kept for provenance.
+    """
+
+    name: str
+    constructs: tuple[Construct, ...]
+    family: str = "custom"
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.constructs:
+            raise ValueError(f"module {self.name!r} has no constructs")
+
+    @staticmethod
+    def make(
+        name: str,
+        constructs: list[Construct],
+        family: str = "custom",
+        params: Mapping[str, Any] | None = None,
+    ) -> "RTLModule":
+        """Convenience constructor normalizing params into a hashable form."""
+        items = tuple(sorted((params or {}).items()))
+        return RTLModule(
+            name=name, constructs=tuple(constructs), family=family, params=items
+        )
+
+
+class Generator(abc.ABC):
+    """A family of parameterizable RTL modules."""
+
+    #: Family name used in module names and dataset metadata.
+    family: str = "generator"
+
+    @abc.abstractmethod
+    def sample_params(self, rng: np.random.Generator) -> dict[str, Any]:
+        """Draw one random parameter point."""
+
+    @abc.abstractmethod
+    def build(self, name: str, **params: Any) -> RTLModule:
+        """Instantiate a module for explicit parameters."""
+
+    def sample(self, rng: np.random.Generator, index: int) -> RTLModule:
+        """Draw a random module; its name encodes family and index."""
+        params = self.sample_params(rng)
+        return self.build(f"{self.family}_{index}", **params)

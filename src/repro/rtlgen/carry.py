@@ -1,0 +1,46 @@
+"""Generator #3: sum of squares — carry chains (paper §VI-A).
+
+Covers the carry-geometry corner (paper §V-C): long chains force tall
+PBlocks regardless of total slice count.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.rtlgen.base import Generator, RTLModule
+from repro.rtlgen.constructs import SumOfSquares
+
+__all__ = ["CarryGenerator"]
+
+
+class CarryGenerator(Generator):
+    """``sum(x_i^2)`` datapaths with parametrizable operand widths."""
+
+    family = "carry"
+
+    def sample_params(self, rng: np.random.Generator) -> dict[str, Any]:
+        width = int(rng.integers(4, 33))
+        n_terms = int(rng.integers(1, 65))
+        # Squarers cost ~width^2/2 LUTs each; keep modules under the
+        # dataset's ~5,000 LUT ceiling (paper Fig. 7).
+        while n_terms * width * width > 9000:
+            n_terms = max(1, n_terms // 2)
+        registered = bool(rng.integers(0, 2))
+        return {"width": width, "n_terms": n_terms, "registered": registered}
+
+    def build(
+        self, name: str, *, width: int, n_terms: int, registered: bool = False
+    ) -> RTLModule:
+        """Build the datapath."""
+        constructs = [
+            SumOfSquares(width=width, n_terms=n_terms, registered=registered)
+        ]
+        return RTLModule.make(
+            name,
+            constructs,
+            family=self.family,
+            params={"width": width, "n_terms": n_terms, "registered": registered},
+        )

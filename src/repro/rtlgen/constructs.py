@@ -1,0 +1,239 @@
+"""RTL-level constructs.
+
+A construct is a declarative description of a piece of hardware; the
+synthesis simulator (:mod:`repro.synth.mapper`) lowers each construct to
+technology-mapped cells.  Constructs are deliberately coarse — they carry
+exactly the parameters that determine post-synthesis resource statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = [
+    "Construct",
+    "ShiftRegisterBank",
+    "DistributedMemory",
+    "SumOfSquares",
+    "LFSRBank",
+    "RandomLogicCloud",
+    "FanoutTree",
+    "BlockMemory",
+    "MacArray",
+    "Pipeline",
+]
+
+
+class Construct:
+    """Marker base class for RTL constructs."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ShiftRegisterBank(Construct):
+    """A bank of shift registers (paper generator #1: "mostly FFs").
+
+    Parameters
+    ----------
+    n_regs:
+        Number of parallel shift registers.
+    depth:
+        Stages per register.
+    n_control_sets:
+        Registers are split round-robin over this many control sets
+        (distinct resets/enables).
+    fanin:
+        Width of the input mux in front of each register (drives LUT usage
+        and input-net fanout).
+    use_srl:
+        If False, a synthesis attribute pins every stage into a flip-flop
+        (the paper's generator does this); if True, interior stages map to
+        SRLs in M slices.
+    """
+
+    n_regs: int
+    depth: int
+    n_control_sets: int = 1
+    fanin: int = 1
+    use_srl: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive(self.n_regs, "n_regs")
+        check_positive(self.depth, "depth")
+        check_in_range(self.n_control_sets, "n_control_sets", 1, self.n_regs)
+        check_positive(self.fanin, "fanin")
+
+
+@dataclass(frozen=True)
+class DistributedMemory(Construct):
+    """LUTRAM memory (paper generator #2: "no registers at all").
+
+    Parameters
+    ----------
+    width:
+        Data width in bits.
+    depth:
+        Words; each 64 words of depth costs one LUTRAM site per bit.
+    read_ports:
+        Additional asynchronous read ports replicate the array.
+    """
+
+    width: int
+    depth: int
+    read_ports: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive(self.width, "width")
+        check_positive(self.depth, "depth")
+        check_in_range(self.read_ports, "read_ports", 1, 4)
+
+
+@dataclass(frozen=True)
+class SumOfSquares(Construct):
+    """``sum(x_i^2)`` datapath (paper generator #3: carry chains).
+
+    Parameters
+    ----------
+    width:
+        Operand width in bits.
+    n_terms:
+        Number of squared terms accumulated by an adder tree.
+    registered:
+        Whether partial results are pipelined into FFs.
+    """
+
+    width: int
+    n_terms: int
+    registered: bool = False
+
+    def __post_init__(self) -> None:
+        check_in_range(self.width, "width", 2, 64)
+        check_positive(self.n_terms, "n_terms")
+
+
+@dataclass(frozen=True)
+class LFSRBank(Construct):
+    """Linear-feedback shift registers (paper generator #4: FF+LUT+carry+SRL).
+
+    Parameters
+    ----------
+    width:
+        LFSR state width.
+    count:
+        Number of independent LFSRs.
+    use_srl:
+        Map the non-tap state bits into SRLs.
+    """
+
+    width: int
+    count: int
+    use_srl: bool = True
+
+    def __post_init__(self) -> None:
+        check_in_range(self.width, "width", 3, 128)
+        check_positive(self.count, "count")
+
+
+@dataclass(frozen=True)
+class RandomLogicCloud(Construct):
+    """Unstructured LUT logic with a controllable fanout profile.
+
+    Parameters
+    ----------
+    n_luts:
+        LUT count.
+    avg_inputs:
+        Mean used LUT inputs (2..6); higher values pack worse.
+    fanout_hot:
+        Fanout of the hottest internal net.
+    registered_fraction:
+        Fraction of LUT outputs followed by a FF.
+    """
+
+    n_luts: int
+    avg_inputs: float = 4.0
+    fanout_hot: int = 4
+    registered_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.n_luts, "n_luts")
+        check_in_range(self.avg_inputs, "avg_inputs", 1.0, 6.0)
+        check_positive(self.fanout_hot, "fanout_hot")
+        check_in_range(self.registered_fraction, "registered_fraction", 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class FanoutTree(Construct):
+    """A broadcast signal with very high fanout (paper §V-D)."""
+
+    fanout: int
+    is_control: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive(self.fanout, "fanout")
+
+
+@dataclass(frozen=True)
+class BlockMemory(Construct):
+    """Block RAM storage."""
+
+    n_bram36: int
+
+    def __post_init__(self) -> None:
+        check_positive(self.n_bram36, "n_bram36")
+
+
+@dataclass(frozen=True)
+class MacArray(Construct):
+    """Multiply-accumulate array, mapped to DSP48s or LUT+carry fabric.
+
+    Parameters
+    ----------
+    n_macs:
+        Number of MAC units.
+    width:
+        Operand width.
+    use_dsp:
+        Map to DSP48 slices when True; otherwise LUT multipliers with
+        carry-chain accumulators.
+    """
+
+    n_macs: int
+    width: int = 8
+    use_dsp: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive(self.n_macs, "n_macs")
+        check_in_range(self.width, "width", 2, 48)
+
+
+@dataclass(frozen=True)
+class Pipeline(Construct):
+    """A register pipeline with LUT logic between stages.
+
+    Parameters
+    ----------
+    width:
+        Datapath width.
+    stages:
+        Pipeline depth.
+    luts_per_stage:
+        Combinational LUTs between consecutive register banks.
+    shared_control:
+        All stages share one control set when True; otherwise one per
+        stage.
+    """
+
+    width: int
+    stages: int
+    luts_per_stage: int = 0
+    shared_control: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive(self.width, "width")
+        check_positive(self.stages, "stages")
+        if self.luts_per_stage < 0:
+            raise ValueError("luts_per_stage must be >= 0")

@@ -1,0 +1,62 @@
+"""Generator #4: LFSR banks — FFs, LUTs, carry and SRLs together
+(paper §VI-A).
+
+Covers the density corner (paper §V-E): when LUT, FF and carry demands are
+near-equal, slice co-packing degrades and the correction factor rises.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.rtlgen.base import Generator, RTLModule
+from repro.rtlgen.constructs import LFSRBank, SumOfSquares
+
+__all__ = ["LfsrGenerator"]
+
+
+class LfsrGenerator(Generator):
+    """Multiple linear-feedback shift registers."""
+
+    family = "lfsr"
+
+    def sample_params(self, rng: np.random.Generator) -> dict[str, Any]:
+        width = int(rng.integers(8, 65))
+        count = int(rng.integers(1, 97))
+        while width * count > 6000:
+            count = max(1, count // 2)
+        use_srl = bool(rng.integers(0, 2))
+        with_counter = bool(rng.integers(0, 2))
+        return {
+            "width": width,
+            "count": count,
+            "use_srl": use_srl,
+            "with_counter": with_counter,
+        }
+
+    def build(
+        self,
+        name: str,
+        *,
+        width: int,
+        count: int,
+        use_srl: bool = True,
+        with_counter: bool = False,
+    ) -> RTLModule:
+        """Build the bank; ``with_counter`` adds a carry-chain cycle counter."""
+        constructs: list[Any] = [LFSRBank(width=width, count=count, use_srl=use_srl)]
+        if with_counter:
+            constructs.append(SumOfSquares(width=min(width, 16), n_terms=1))
+        return RTLModule.make(
+            name,
+            constructs,
+            family=self.family,
+            params={
+                "width": width,
+                "count": count,
+                "use_srl": use_srl,
+                "with_counter": with_counter,
+            },
+        )

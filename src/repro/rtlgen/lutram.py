@@ -1,0 +1,49 @@
+"""Generator #2: distributed memories — "no registers at all" (paper §VI-A).
+
+Covers the M-slice corner: modules are mostly LUTRAM with parametrizable
+width and depth, exercising the implicit-L-slice effect of CLB-LM columns
+(paper §V-A).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.rtlgen.base import Generator, RTLModule
+from repro.rtlgen.constructs import DistributedMemory, FanoutTree
+
+__all__ = ["LutramGenerator"]
+
+
+class LutramGenerator(Generator):
+    """LUTRAM memory arrays with parametrizable width x depth."""
+
+    family = "lutram"
+
+    def sample_params(self, rng: np.random.Generator) -> dict[str, Any]:
+        width = int(rng.integers(4, 129))
+        depth = int(rng.choice([32, 64, 128, 256, 512, 1024]))
+        # Bound the LUTRAM count (one site per bit per 64 words).
+        while width * (depth // 64 or 1) > 4000:
+            width = max(4, width // 2)
+        read_ports = int(rng.choice([1, 1, 1, 2]))
+        return {"width": width, "depth": depth, "read_ports": read_ports}
+
+    def build(
+        self, name: str, *, width: int, depth: int, read_ports: int = 1
+    ) -> RTLModule:
+        """Build a memory; the address bus is an implicit broadcast net."""
+        n_sites = width * max(1, -(-depth // 64))
+        constructs = [
+            DistributedMemory(width=width, depth=depth, read_ports=read_ports),
+            # Address lines fan out to every LUTRAM site.
+            FanoutTree(fanout=n_sites),
+        ]
+        return RTLModule.make(
+            name,
+            constructs,
+            family=self.family,
+            params={"width": width, "depth": depth, "read_ports": read_ports},
+        )

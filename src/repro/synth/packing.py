@@ -1,0 +1,79 @@
+"""Shared packing-efficiency models.
+
+These closed-form models are used in two places with different parameters:
+
+* the *quick* estimator (:mod:`repro.place.quick`) applies them with fixed
+  nominal constants — this is what RapidWright's resource-based estimate
+  knows before detailed placement;
+* the *detailed* packer (:mod:`repro.place.packer`) applies them with the
+  module's actual statistics plus deterministic placer noise.
+
+The gap between the two is precisely what the correction factor (CF)
+absorbs, which is why the minimal CF is learnable from the module's
+features (paper §V).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "lut_pack_efficiency",
+    "sharing_efficiency",
+    "ff_slice_demand_fragmented",
+    "NOMINAL_LUT_INPUTS",
+    "NOMINAL_SHARING",
+]
+
+_FFS_PER_SLICE = 8
+
+#: Constants the naive estimator assumes for every module.
+NOMINAL_LUT_INPUTS = 3.6
+#: Fixed sharing efficiency the naive estimate assumes regardless of the
+#: module's actual LUT/FF/carry balance — real packers degrade much more on
+#: balanced ("high density") modules, which is the paper's §V-E effect.
+NOMINAL_SHARING = 0.80
+
+
+def lut_pack_efficiency(avg_inputs: float) -> float:
+    """Fraction of a slice's 4 LUT6 sites effectively usable.
+
+    Small functions pair two-per-site through the dual LUT5 outputs, so
+    efficiency can exceed 1; wide functions consume whole sites and block
+    input sharing.  Clamped to ``[0.72, 1.15]``.
+    """
+    eff = 1.36 - 0.11 * avg_inputs
+    return min(1.15, max(0.72, eff))
+
+
+def sharing_efficiency(density: float, cs_pressure: float) -> float:
+    """How well LUT, FF and carry demands overlap in the same slices.
+
+    Parameters
+    ----------
+    density:
+        ``max(demands) / sum(demands)`` over the three slice-demand kinds;
+        1.0 means a single resource dominates (perfect overlay of the
+        others), 1/3 means all three are equal — the paper's
+        "high-density" worst case (§V-E).
+    cs_pressure:
+        Control sets per FF slice; many small control sets also block
+        LUT/FF pairing (§V-B).
+
+    Returns
+    -------
+    float
+        Fraction of the non-dominant demand that can be hidden inside the
+        dominant one, in ``[0, 1]``.
+    """
+    if not 0.0 < density <= 1.0 + 1e-9:
+        raise ValueError(f"density must be in (0, 1], got {density}")
+    base = 0.38 + 0.62 * (min(density, 1.0) - 1.0 / 3.0) / (2.0 / 3.0)
+    penalty = 0.22 * min(1.0, max(0.0, cs_pressure))
+    return min(1.0, max(0.0, base - penalty))
+
+
+def ff_slice_demand_fragmented(ff_per_control_set: Sequence[int]) -> int:
+    """FF slice demand with control-set exclusivity (paper §V-B)."""
+    return sum(math.ceil(n / _FFS_PER_SLICE) for n in ff_per_control_set)

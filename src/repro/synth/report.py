@@ -1,0 +1,43 @@
+"""Post-synthesis utilization reports (Vivado-style)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.netlist import Netlist
+from repro.netlist.stats import NetlistStats, compute_stats
+from repro.utils.tables import Table
+
+__all__ = ["UtilizationReport", "utilization_report"]
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Resource summary of one synthesized module."""
+
+    stats: NetlistStats
+
+    def render(self) -> str:
+        """Render the familiar utilization table."""
+        s = self.stats
+        t = Table(["Resource", "Used"], title=f"Utilization: {s.name}")
+        t.add_rows(
+            [
+                ["LUT (logic)", s.n_lut],
+                ["LUT (SRL)", s.n_srl],
+                ["LUT (RAM)", s.n_lutram],
+                ["FF", s.n_ff],
+                ["CARRY4", s.n_carry4],
+                ["BRAM36", s.n_bram],
+                ["DSP48", s.n_dsp],
+                ["Control sets", s.n_control_sets],
+                ["Max fanout", s.max_fanout],
+                ["Logic depth", s.logic_depth],
+            ]
+        )
+        return t.render()
+
+
+def utilization_report(netlist: Netlist) -> UtilizationReport:
+    """Build the report for ``netlist``."""
+    return UtilizationReport(stats=compute_stats(netlist))

@@ -1,0 +1,27 @@
+"""Shared infrastructure: deterministic RNG streams, table rendering,
+argument validation, and serialization helpers.
+
+Everything in :mod:`repro` that needs randomness derives it from a named
+stream (:func:`repro.utils.rng.stream`) so that every experiment is exactly
+reproducible from its top-level seed.
+"""
+
+from repro.utils.rng import derive_seed, module_noise, stream
+from repro.utils.tables import Table
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+__all__ = [
+    "Table",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_type",
+    "derive_seed",
+    "module_noise",
+    "stream",
+]

@@ -1,0 +1,79 @@
+"""ASCII plots for figure-style experiment output.
+
+The paper's figures are histograms (Figs. 4, 8) and scatter/series plots
+(Figs. 10, 11); these helpers draw terminal equivalents so benchmark
+output mirrors the figures, not just their summary statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_histogram", "ascii_scatter"]
+
+
+def ascii_histogram(
+    data: Mapping[float, int],
+    *,
+    width: int = 50,
+    key_fmt: str = "{:.2f}",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart of a ``{value: count}`` mapping.
+
+    Bars are scaled to ``width`` characters; zero-count keys still print
+    so gaps in a distribution stay visible.
+    """
+    if not data:
+        return "<empty histogram>"
+    peak = max(data.values())
+    lines = [title] if title else []
+    for key in sorted(data):
+        n = data[key]
+        bar = "#" * (0 if peak == 0 else max(1 if n else 0, round(n / peak * width)))
+        lines.append(f"{key_fmt.format(key):>8} |{bar:<{width}} {n}")
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    cols: int = 60,
+    rows: int = 18,
+    title: str = "",
+    diagonal: bool = False,
+) -> str:
+    """Scatter plot of two sequences; ``diagonal=True`` overlays y = x.
+
+    Used for the predicted-vs-actual CF views (Figs. 10/11): points on
+    the diagonal are perfect predictions.
+    """
+    if len(x) != len(y):
+        raise ValueError(f"length mismatch: {len(x)} vs {len(y)}")
+    if not x:
+        return "<empty scatter>"
+    lo = min(min(x), min(y))
+    hi = max(max(x), max(y))
+    if math.isclose(lo, hi):
+        hi = lo + 1.0
+    span = hi - lo
+
+    grid = [[" "] * cols for _ in range(rows)]
+    if diagonal:
+        for c in range(cols):
+            r = rows - 1 - round(c / (cols - 1) * (rows - 1)) if cols > 1 else 0
+            grid[r][c] = "."
+    for xi, yi in zip(x, y):
+        c = min(cols - 1, int((xi - lo) / span * (cols - 1)))
+        r = rows - 1 - min(rows - 1, int((yi - lo) / span * (rows - 1)))
+        grid[r][c] = "*"
+
+    lines = [title] if title else []
+    lines.append(f"{hi:8.2f} +" + "-" * cols + "+")
+    for row in grid:
+        lines.append(" " * 9 + "|" + "".join(row) + "|")
+    lines.append(f"{lo:8.2f} +" + "-" * cols + "+")
+    lines.append(" " * 10 + f"{lo:<.2f}{' ' * (cols - 8)}{hi:>.2f}")
+    return "\n".join(lines)

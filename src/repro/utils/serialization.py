@@ -1,0 +1,74 @@
+"""JSON / NPZ persistence helpers for datasets and experiment records.
+
+Datasets produced by :mod:`repro.dataset` are plain feature matrices plus a
+label vector and per-sample metadata; these helpers keep the on-disk format
+stable and versioned so cached datasets survive library upgrades (or fail
+loudly when they cannot).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["to_jsonable", "dump_json", "load_json", "save_arrays", "load_arrays"]
+
+FORMAT_VERSION = 1
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert dataclasses / NumPy scalars / arrays to JSON types."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, Mapping):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    return obj
+
+
+def dump_json(obj: Any, path: str | Path) -> None:
+    """Write ``obj`` (after :func:`to_jsonable`) to ``path`` with a version tag."""
+    payload = {"format_version": FORMAT_VERSION, "data": to_jsonable(obj)}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_json(path: str | Path) -> Any:
+    """Read a file written by :func:`dump_json`; checks the version tag."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: format_version {version!r} != supported {FORMAT_VERSION}"
+        )
+    return payload["data"]
+
+
+def save_arrays(path: str | Path, **arrays: np.ndarray) -> None:
+    """Save named arrays to a compressed ``.npz`` with a version marker."""
+    np.savez_compressed(
+        Path(path), __format_version__=np.asarray(FORMAT_VERSION), **arrays
+    )
+
+
+def load_arrays(path: str | Path) -> dict[str, np.ndarray]:
+    """Load arrays saved with :func:`save_arrays`; checks the version marker."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        version = int(data["__format_version__"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: format_version {version} != supported {FORMAT_VERSION}"
+            )
+        return {k: data[k] for k in data.files if k != "__format_version__"}

@@ -1,0 +1,103 @@
+"""ASCII table rendering for experiment reports.
+
+Every benchmark in :mod:`benchmarks` prints the same rows/series the paper's
+table or figure reports; :class:`Table` is the single renderer so all
+reports share one look.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table", "format_value"]
+
+
+def format_value(value: Any, float_fmt: str = "{:.3f}") -> str:
+    """Render a single cell.
+
+    Floats use ``float_fmt``; ``None`` renders as ``-``; everything else via
+    ``str``.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+class Table:
+    """A minimal column-aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    float_fmt:
+        Format string applied to float cells.
+    title:
+        Optional caption printed above the table.
+
+    Examples
+    --------
+    >>> t = Table(["module", "slices"], title="Synthesis results")
+    >>> t.add_row(["mvau_18", 31])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        headers: Sequence[str],
+        *,
+        float_fmt: str = "{:.3f}",
+        title: str | None = None,
+    ) -> None:
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.headers = [str(h) for h in headers]
+        self.float_fmt = float_fmt
+        self.title = title
+        self._rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        """Append one row; must have as many cells as there are headers."""
+        cells = [format_value(v, self.float_fmt) for v in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}"
+            )
+        self._rows.append(cells)
+
+    def add_rows(self, rows: Iterable[Iterable[Any]]) -> None:
+        """Append several rows."""
+        for row in rows:
+            self.add_row(row)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of data rows added so far."""
+        return len(self._rows)
+
+    def render(self) -> str:
+        """Return the table as a multi-line string."""
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_line(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        sep = "  ".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * max(len(self.title), len(sep)))
+        lines.append(fmt_line(self.headers))
+        lines.append(sep)
+        lines.extend(fmt_line(row) for row in self._rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

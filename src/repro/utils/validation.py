@@ -1,0 +1,45 @@
+"""Small argument-validation helpers used across the library.
+
+These raise early with a precise message instead of letting a bad parameter
+propagate into a placement run where the failure would be hard to trace.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["check_positive", "check_non_negative", "check_in_range", "check_type"]
+
+
+def check_positive(value: float, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_non_negative(value: float, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_in_range(
+    value: float, name: str, lo: float, hi: float, *, inclusive: bool = True
+) -> None:
+    """Raise :class:`ValueError` unless ``value`` lies in ``[lo, hi]``.
+
+    With ``inclusive=False`` the interval is open: ``(lo, hi)``.
+    """
+    ok = lo <= value <= hi if inclusive else lo < value < hi
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must be in {bracket[0]}{lo}, {hi}{bracket[1]}, got {value!r}"
+        )
+
+
+def check_type(value: Any, name: str, *types: type) -> None:
+    """Raise :class:`TypeError` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        expected = " | ".join(t.__name__ for t in types)
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")

@@ -1,0 +1,68 @@
+"""Shared fixtures.
+
+Expensive artifacts (device grids, the cnvW1A1 design, a small labeled
+dataset) are session-scoped; everything is deterministic, so caching is
+safe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device.column import ColumnKind
+from repro.device.grid import DeviceGrid
+from repro.device.parts import xc7z020, xc7z045
+
+
+@pytest.fixture(scope="session")
+def z020() -> DeviceGrid:
+    return xc7z020()
+
+
+@pytest.fixture(scope="session")
+def z045() -> DeviceGrid:
+    return xc7z045()
+
+
+@pytest.fixture(scope="session")
+def tiny_grid() -> DeviceGrid:
+    """A small single-region device for fast geometric tests."""
+    kinds = [
+        ColumnKind.CLBLL,
+        ColumnKind.CLBLM,
+        ColumnKind.CLBLL,
+        ColumnKind.BRAM,
+        ColumnKind.CLBLM,
+        ColumnKind.CLOCK,
+        ColumnKind.CLBLL,
+        ColumnKind.DSP,
+        ColumnKind.CLBLM,
+        ColumnKind.CLBLL,
+    ]
+    return DeviceGrid.from_kinds("tiny", kinds, n_regions=1)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small labeled dataset shared by feature/ML/estimator tests."""
+    from repro.dataset.generate import generate_dataset
+
+    records, report = generate_dataset(120, seed=11)
+    assert report.n_labeled > 60
+    return records
+
+
+@pytest.fixture(scope="session")
+def cnv_stats():
+    """Per-module stats of the cnvW1A1 design (built once)."""
+    from repro.cnv.design import cnv_module_stats
+
+    return cnv_module_stats()
+
+
+@pytest.fixture(scope="session")
+def cnv():
+    """The full cnvW1A1 block design."""
+    from repro.cnv.design import cnv_design
+
+    return cnv_design()

@@ -1,0 +1,107 @@
+"""Tests for the extension experiments (incremental recompile, CV)."""
+
+import pytest
+
+from repro.analysis.context import ExperimentContext
+from repro.analysis.exp_cv import run_cv_study
+from repro.analysis.exp_incremental import modify_module, run_incremental_study
+from repro.analysis.exp_noise import run_noise_study
+from repro.analysis.exp_transfer import run_transfer_study
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(seed=0, n_modules=150, cap_per_bin=15, rf_trees=20)
+
+
+class TestModifyModule:
+    def test_clone_structure(self, ctx):
+        base = ctx.design()
+        changed = modify_module(base, "mvau_12", 3.0)
+        assert changed.n_instances == base.n_instances
+        assert changed.n_unique == base.n_unique
+        assert len(changed.edges) == len(base.edges)
+        changed.validate()
+
+    def test_module_actually_changes(self, ctx):
+        base = ctx.design()
+        changed = modify_module(base, "mvau_12", 3.0)
+        assert changed.modules["mvau_12"] != base.modules["mvau_12"]
+        assert changed.modules["mvau_8"] == base.modules["mvau_8"]
+
+    def test_unknown_module_rejected(self, ctx):
+        with pytest.raises(KeyError):
+            modify_module(ctx.design(), "ghost", 1.0)
+
+
+class TestIncrementalStudy:
+    def test_speedup_and_accounting(self, ctx):
+        res = run_incremental_study(ctx)
+        assert res.incremental_runs == 1
+        assert res.full_runs == 74
+        assert res.incremental_effort < res.full_effort
+        assert res.effort_speedup > 5
+        assert 0.0 < res.reuse_fraction < 1.0
+
+    def test_render(self, ctx):
+        out = run_incremental_study(ctx).render()
+        assert "speedup" in out and "reuse" in out
+
+
+class TestCVStudy:
+    def test_structure(self, ctx):
+        res = run_cv_study(ctx, k=3, rf_trees=10)
+        assert res.k == 3
+        for errs in (res.dt, res.rf):
+            for fs in ("classical", "additional"):
+                mean, std = errs[fs]
+                assert 0 < mean < 0.3
+                assert std >= 0
+
+    def test_render(self, ctx):
+        out = run_cv_study(ctx, k=3, rf_trees=10).render()
+        assert "cross-validation" in out
+
+
+class TestNoiseStudy:
+    def test_monotone_and_floor(self, ctx):
+        res = run_noise_study(ctx, n_modules=100, rf_trees=15)
+        amps = sorted(res.errors)
+        assert res.errors[amps[-1]] >= res.errors[amps[0]]
+        assert res.noise_floor() >= 0.0
+        assert all(n > 30 for n in res.n_samples.values())
+
+    def test_render(self, ctx):
+        out = run_noise_study(ctx, n_modules=80, rf_trees=10).render()
+        assert "noise" in out
+
+
+class TestTransferStudy:
+    def test_labels_transfer_within_family(self, ctx):
+        res = run_transfer_study(ctx, n_test=40)
+        assert res.n_test > 20
+        assert res.label_shift < 0.1
+        assert res.cross_device_error < 0.2
+
+    def test_render(self, ctx):
+        out = run_transfer_study(ctx, n_test=30).render()
+        assert "xc7z010" in out
+
+
+class TestNoiseOverride:
+    def test_context_manager_restores(self):
+        from repro.place.packer import _noise_hi, placer_noise_amplitude
+
+        base = _noise_hi()
+        with placer_noise_amplitude(0.2):
+            assert _noise_hi() == 0.2
+            with placer_noise_amplitude(0.0):
+                assert _noise_hi() == 0.0
+            assert _noise_hi() == 0.2
+        assert _noise_hi() == base
+
+    def test_negative_rejected(self):
+        from repro.place.packer import placer_noise_amplitude
+
+        with pytest.raises(ValueError):
+            placer_noise_amplitude(-0.1)

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_device_defaults(self):
+        args = build_parser().parse_args(["device"])
+        assert args.part == "xc7z020"
+
+    def test_report_options(self):
+        args = build_parser().parse_args(
+            ["report", "-n", "100", "--rf-trees", "10", "-o", "out.md"]
+        )
+        assert args.n_modules == 100
+        assert args.output == "out.md"
+
+
+class TestCommands:
+    def test_device(self, capsys):
+        assert main(["device", "xc7z045"]) == 0
+        out = capsys.readouterr().out
+        assert "xc7z045" in out and "slices" in out
+
+    def test_device_unknown_part(self):
+        with pytest.raises(KeyError):
+            main(["device", "xc7z999"])
+
+    def test_cnv(self, capsys):
+        assert main(["cnv"]) == 0
+        out = capsys.readouterr().out
+        assert "175 instances" in out and "74 unique" in out
+
+    def test_mincf(self, capsys):
+        assert main(["mincf", "lfsr", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "minimal CF" in out
+
+    def test_dataset_train_roundtrip(self, tmp_path, capsys):
+        ds = tmp_path / "ds.npz"
+        est = tmp_path / "est.json"
+        assert main(["dataset", "-n", "60", "-o", str(ds)]) == 0
+        assert ds.exists()
+        assert (
+            main(
+                ["train", "-d", str(ds), "--kind", "dt", "-o", str(est)]
+            )
+            == 0
+        )
+        assert est.exists()
+        out = capsys.readouterr().out
+        assert "relative error" in out
+
+        # The saved estimator loads and predicts.
+        from repro.estimator.cf_estimator import CFEstimator
+
+        loaded = CFEstimator.load(est)
+        assert loaded.kind == "dt"
+
+
+class TestExportDesign:
+    def test_export_and_reload(self, tmp_path, capsys):
+        out = tmp_path / "cnv.json"
+        assert main(["export-design", "-o", str(out)]) == 0
+        from repro.flow.design_io import load_design
+
+        d = load_design(out)
+        assert d.n_instances == 175

@@ -1,0 +1,87 @@
+"""Tests for dataset generation, balancing and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.balance import balance_dataset, cf_histogram
+from repro.dataset.generate import generate_dataset
+from repro.dataset.io import load_dataset_arrays, save_dataset_arrays
+from repro.features.registry import feature_names
+
+
+class TestGeneration:
+    def test_labels_on_grid(self, small_dataset):
+        for rec in small_dataset:
+            steps = (rec.min_cf - 0.9) / 0.02
+            assert abs(steps - round(steps)) < 1e-6
+            assert rec.min_cf >= 0.9
+
+    def test_families_recorded(self, small_dataset):
+        fams = {r.family for r in small_dataset}
+        assert len(fams) >= 3
+
+    def test_deterministic(self):
+        a, _ = generate_dataset(20, seed=5)
+        b, _ = generate_dataset(20, seed=5)
+        assert [r.name for r in a] == [r.name for r in b]
+        assert [r.min_cf for r in a] == [r.min_cf for r in b]
+
+    def test_report_accounting(self):
+        records, report = generate_dataset(30, seed=6)
+        assert report.n_requested == 30
+        assert (
+            report.n_labeled + report.n_trivial + report.n_infeasible == 30
+        )
+        assert report.n_labeled == len(records)
+
+    def test_no_trivial_modules(self, small_dataset):
+        assert all(not r.stats.is_trivial() for r in small_dataset)
+
+
+class TestBalancing:
+    def test_cap_enforced(self, small_dataset):
+        balanced = balance_dataset(small_dataset, cap_per_bin=3, seed=0)
+        hist = cf_histogram(balanced)
+        assert max(hist.values()) <= 3
+
+    def test_subset(self, small_dataset):
+        balanced = balance_dataset(small_dataset, cap_per_bin=5, seed=0)
+        names = {r.name for r in small_dataset}
+        assert all(r.name in names for r in balanced)
+
+    def test_noop_with_huge_cap(self, small_dataset):
+        balanced = balance_dataset(small_dataset, cap_per_bin=10**6, seed=0)
+        assert len(balanced) == len(small_dataset)
+
+    def test_deterministic(self, small_dataset):
+        a = balance_dataset(small_dataset, cap_per_bin=4, seed=2)
+        b = balance_dataset(small_dataset, cap_per_bin=4, seed=2)
+        assert [r.name for r in a] == [r.name for r in b]
+
+    def test_histogram_total(self, small_dataset):
+        hist = cf_histogram(small_dataset)
+        assert sum(hist.values()) == len(small_dataset)
+
+
+class TestPersistence:
+    def test_roundtrip(self, small_dataset, tmp_path):
+        path = tmp_path / "ds.npz"
+        save_dataset_arrays(small_dataset, path)
+        X, y, names, fams = load_dataset_arrays(path, "all")
+        assert X.shape == (len(small_dataset), len(feature_names("all")))
+        np.testing.assert_allclose(y, [r.min_cf for r in small_dataset])
+
+    def test_feature_subset(self, small_dataset, tmp_path):
+        path = tmp_path / "ds.npz"
+        save_dataset_arrays(small_dataset, path)
+        X_cls, *_ = load_dataset_arrays(path, "classical")
+        X_all, *_ = load_dataset_arrays(path, "all")
+        assert X_cls.shape[1] == len(feature_names("classical"))
+        # Classical columns are a prefix of "all" in registry order.
+        np.testing.assert_array_equal(X_cls, X_all[:, : X_cls.shape[1]])
+
+    def test_unknown_feature_set(self, small_dataset, tmp_path):
+        path = tmp_path / "ds.npz"
+        save_dataset_arrays(small_dataset, path)
+        with pytest.raises(KeyError):
+            load_dataset_arrays(path, "nope")

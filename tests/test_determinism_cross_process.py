@@ -1,0 +1,48 @@
+"""Cross-process determinism: the whole pipeline must produce identical
+results in separate interpreter runs (no hidden global state, no salted
+hashing, no wall-clock)."""
+
+import subprocess
+import sys
+
+_SNIPPET = """
+import hashlib, json
+from repro.dataset import generate_dataset, balance_dataset
+from repro.device import xc7z020
+from repro.flow import run_rw_flow, MinimalCFPolicy, SAParams
+from repro.flow.blockdesign import BlockDesign
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.constructs import RandomLogicCloud
+
+records, _ = generate_dataset(40, seed=3)
+labels = [(r.name, r.min_cf) for r in records]
+
+d = BlockDesign(name="det")
+d.add_module(RTLModule.make("m", [RandomLogicCloud(n_luts=150)]))
+for i in range(4):
+    d.add_instance(f"i{i}", "m")
+for i in range(3):
+    d.connect(f"i{i}", f"i{i+1}")
+res = run_rw_flow(d, xc7z020(), MinimalCFPolicy(),
+                  sa_params=SAParams(max_iters=2000, seed=5))
+placement = sorted((k, v) for k, v in res.stitch.placements.items())
+
+payload = json.dumps([labels, placement, res.stitch.final_cost])
+print(hashlib.sha256(payload.encode()).hexdigest())
+"""
+
+
+def _run() -> str:
+    out = subprocess.run(
+        [sys.executable, "-c", _SNIPPET],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert out.returncode == 0, out.stderr
+    return out.stdout.strip().splitlines()[-1]
+
+
+class TestCrossProcessDeterminism:
+    def test_two_fresh_interpreters_agree(self):
+        assert _run() == _run()

@@ -1,0 +1,68 @@
+"""Tests for the modeled Zynq parts."""
+
+import pytest
+
+from repro.device.column import ColumnKind
+from repro.device.parts import list_parts, make_part
+
+
+class TestCatalog:
+    def test_list(self):
+        assert list_parts() == ["xc7z010", "xc7z020", "xc7z045", "xc7z100"]
+
+    def test_make_unknown(self):
+        with pytest.raises(KeyError, match="unknown part"):
+            make_part("xc7z099")
+
+
+class TestXc7z020:
+    def test_dimensions(self, z020):
+        assert z020.n_regions == 3
+        assert z020.height_clbs == 150
+
+    def test_slice_count_close_to_real(self, z020):
+        # Real part: 13,300 slices; model: 13,200.
+        assert abs(z020.device_caps().slices - 13300) / 13300 < 0.02
+
+    def test_m_fraction(self, z020):
+        caps = z020.device_caps()
+        assert 0.15 < caps.m_slices / caps.slices < 0.35
+
+    def test_has_one_clock_spine(self, z020):
+        assert len(z020.clock_column_xs()) == 1
+
+
+class TestOtherParts:
+    def test_xc7z010_smallest(self):
+        g = make_part("xc7z010")
+        assert g.device_caps().slices == 4400
+        assert g.n_regions == 2
+
+    def test_xc7z100_largest(self):
+        g = make_part("xc7z100")
+        assert g.device_caps().slices > make_part("xc7z045").device_caps().slices
+
+    def test_family_ordering(self):
+        sizes = [make_part(n).device_caps().slices for n in list_parts()]
+        assert sizes == sorted(sizes)
+
+
+class TestXc7z045:
+    def test_slice_count_close_to_real(self, z045):
+        # Real part: 54,650 slices; model: 54,600.
+        assert abs(z045.device_caps().slices - 54650) / 54650 < 0.02
+
+    def test_strictly_larger(self, z020, z045):
+        assert z045.device_caps().slices > 4 * z020.device_caps().slices
+
+    def test_column_unit_repeats(self, z045):
+        # Relocation relies on a periodic fabric: a mid-device CLB pattern
+        # must appear at several x positions.
+        kinds = z045.kinds()
+        window = kinds[0:6]
+        anchors = z045.compatible_x_anchors(window)
+        assert len(anchors) >= 5
+
+    def test_kinds_inventory(self, z045):
+        kinds = set(z045.kinds())
+        assert {ColumnKind.CLBLL, ColumnKind.CLBLM, ColumnKind.BRAM, ColumnKind.DSP} <= kinds

@@ -1,0 +1,135 @@
+"""Tests for feature extraction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.features.registry import (
+    FEATURE_SETS,
+    FeatureExtractor,
+    extract_matrix,
+    feature_names,
+    make_record,
+)
+from repro.netlist.stats import compute_stats
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.constructs import (
+    DistributedMemory,
+    RandomLogicCloud,
+    ShiftRegisterBank,
+    SumOfSquares,
+)
+from repro.synth.mapper import synthesize
+
+
+def _record(*constructs, name="f", min_cf=1.1):
+    stats = compute_stats(synthesize(RTLModule.make(name, list(constructs))))
+    return make_record(stats, min_cf=min_cf)
+
+
+class TestRegistry:
+    def test_expected_sets(self):
+        assert set(FEATURE_SETS) == {
+            "classical",
+            "classical_placement",
+            "additional",
+            "all",
+            "linreg9",
+        }
+
+    def test_classical_has_paper_features(self):
+        names = feature_names("classical")
+        assert set(names) == {"luts", "clbms", "ffs", "control_sets", "carry", "max_fanout"}
+
+    def test_additional_is_relative_only(self):
+        for n in feature_names("additional"):
+            assert n in {
+                "carry_over_all",
+                "ff_over_all",
+                "lut_over_all",
+                "m_ratio",
+                "density",
+                "cs_per_ff_slice",
+                "fanout_norm",
+            }
+
+    def test_all_is_union(self):
+        all_names = set(feature_names("all"))
+        assert set(feature_names("classical")) <= all_names
+        assert set(feature_names("additional")) <= all_names
+
+    def test_linreg9_has_nine_inputs(self):
+        assert len(feature_names("linreg9")) == 9
+
+    def test_unknown_set_rejected(self):
+        with pytest.raises(KeyError):
+            feature_names("bogus")
+
+
+class TestExtraction:
+    def test_vector_shape_and_finiteness(self):
+        rec = _record(RandomLogicCloud(n_luts=100), SumOfSquares(width=8, n_terms=2))
+        for fs in FEATURE_SETS:
+            ex = FeatureExtractor(fs)
+            v = ex.vector(rec)
+            assert v.shape == (ex.n_features,)
+            assert np.all(np.isfinite(v))
+
+    def test_matrix(self):
+        recs = [_record(RandomLogicCloud(n_luts=50), name=f"m{i}") for i in range(4)]
+        X, y = extract_matrix(recs, "classical")
+        assert X.shape == (4, 6)
+        assert y.shape == (4,)
+
+    def test_classical_counts_exact(self):
+        rec = _record(ShiftRegisterBank(n_regs=16, depth=2, n_control_sets=4))
+        ex = FeatureExtractor("classical")
+        v = dict(zip(ex.names, ex.vector(rec)))
+        assert v["ffs"] == 32
+        assert v["control_sets"] == 4
+
+    def test_relative_features_size_invariant(self):
+        """Scaling a module should barely move the relative features."""
+        small = _record(RandomLogicCloud(n_luts=100, avg_inputs=4.0), name="sa")
+        big = _record(RandomLogicCloud(n_luts=1600, avg_inputs=4.0), name="sa")
+        ex = FeatureExtractor("additional")
+        vs, vb = ex.vector(small), ex.vector(big)
+        for name, a, b in zip(ex.names, vs, vb):
+            if name in ("lut_over_all", "ff_over_all", "carry_over_all", "density"):
+                assert a == pytest.approx(b, abs=0.08), name
+
+    def test_density_bounds(self):
+        rec = _record(
+            RandomLogicCloud(n_luts=64, registered_fraction=1.0),
+            SumOfSquares(width=8, n_terms=2),
+        )
+        ex = FeatureExtractor("additional")
+        v = dict(zip(ex.names, ex.vector(rec)))
+        assert 1 / 3 - 1e-9 <= v["density"] <= 1.0
+
+    def test_m_ratio_for_lutram_module(self):
+        rec = _record(DistributedMemory(width=32, depth=256))
+        ex = FeatureExtractor("additional")
+        v = dict(zip(ex.names, ex.vector(rec)))
+        assert v["m_ratio"] > 0.5
+
+    def test_carry_over_all(self):
+        rec = _record(SumOfSquares(width=16, n_terms=2))
+        ex = FeatureExtractor("additional")
+        v = dict(zip(ex.names, ex.vector(rec)))
+        stats_ratio = rec.stats.n_carry4 / rec.stats.total_sites
+        assert v["carry_over_all"] == pytest.approx(stats_ratio)
+
+
+class TestRecord:
+    def test_make_record_runs_quick_place(self):
+        rec = _record(RandomLogicCloud(n_luts=64))
+        assert rec.report.est_slices > 0
+
+    def test_label_nan_by_default(self):
+        stats = compute_stats(
+            synthesize(RTLModule.make("x", [RandomLogicCloud(n_luts=8)]))
+        )
+        rec = make_record(stats)
+        assert math.isnan(rec.min_cf)

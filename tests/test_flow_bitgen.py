@@ -1,0 +1,95 @@
+"""Tests for bitstream assembly."""
+
+import pytest
+
+from repro.device.column import ColumnKind
+from repro.flow.bitgen import generate_bitstream, module_frames
+from repro.flow.blockdesign import BlockDesign
+from repro.flow.stitcher import SAParams, stitch
+from repro.place.shapes import Footprint
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.constructs import RandomLogicCloud
+
+_LL = ColumnKind.CLBLL
+_LM = ColumnKind.CLBLM
+
+
+@pytest.fixture(scope="module")
+def stitched(z020):
+    d = BlockDesign(name="bits")
+    d.add_module(RTLModule.make("m", [RandomLogicCloud(n_luts=8)]))
+    d.add_module(RTLModule.make("k", [RandomLogicCloud(n_luts=8)]))
+    for i in range(4):
+        d.add_instance(f"m{i}", "m")
+    d.add_instance("k0", "k")
+    d.connect("m0", "m1")
+    d.connect("m1", "k0")
+    fps = {
+        "m": Footprint((_LL, _LM), (6, 6)),
+        "k": Footprint((_LL,), (10,)),
+    }
+    res = stitch(d, fps, z020, SAParams(max_iters=1500, seed=0))
+    return d, fps, res
+
+
+class TestModuleFrames:
+    def test_deterministic(self):
+        fp = Footprint((_LL, _LM), (3, 2))
+        assert module_frames("a", fp) == module_frames("a", fp)
+
+    def test_depends_on_module_identity(self):
+        fp = Footprint((_LL,), (4,))
+        assert module_frames("a", fp) != module_frames("b", fp)
+
+    def test_size_tracks_occupancy(self):
+        small = module_frames("a", Footprint((_LL,), (2,)))
+        big = module_frames("a", Footprint((_LL,), (20,)))
+        assert len(big) == 10 * len(small)
+
+
+class TestGenerateBitstream:
+    def test_header_and_crc(self, z020, stitched):
+        d, fps, res = stitched
+        bs = generate_bitstream(d, fps, res, z020)
+        assert bs.payload.startswith(b"RPRO")
+        assert bs.device == "xc7z020"
+        assert len(bs.crc) == 64
+        assert bs.size_bytes == len(bs.payload)
+
+    def test_all_placed_configured(self, z020, stitched):
+        d, fps, res = stitched
+        bs = generate_bitstream(d, fps, res, z020)
+        assert bs.n_configured_instances == res.n_placed
+
+    def test_deterministic(self, z020, stitched):
+        d, fps, res = stitched
+        a = generate_bitstream(d, fps, res, z020)
+        b = generate_bitstream(d, fps, res, z020)
+        assert a.crc == b.crc
+
+    def test_relocation_reuses_frames(self, z020, stitched):
+        """Instances of the same module contribute identical frame bytes
+        at different addresses — the relocatability property."""
+        d, fps, res = stitched
+        bs = generate_bitstream(d, fps, res, z020)
+        frames = module_frames("m", fps["m"].trimmed())
+        # The frame blob of module m appears once per placed instance.
+        count = bs.payload.count(frames)
+        placed_m = sum(
+            1
+            for name, pos in res.placements.items()
+            if pos is not None and name.startswith("m")
+        )
+        assert count == placed_m >= 2
+
+    def test_unplaced_skipped(self, z020, stitched):
+        d, fps, res = stitched
+        from dataclasses import replace
+
+        placements = dict(res.placements)
+        placements["m0"] = None
+        partial = replace(res, placements=placements)
+        bs_full = generate_bitstream(d, fps, res, z020)
+        bs_part = generate_bitstream(d, fps, partial, z020)
+        assert bs_part.n_configured_instances == bs_full.n_configured_instances - 1
+        assert bs_part.size_bytes < bs_full.size_bytes

@@ -1,0 +1,71 @@
+"""Tests for the partial-reconfiguration baseline."""
+
+import pytest
+
+from repro.flow.blockdesign import BlockDesign
+from repro.flow.prflow import apply_update, plan_partitions
+from repro.netlist.stats import compute_stats
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.constructs import RandomLogicCloud
+from repro.synth.mapper import synthesize
+
+
+def _design() -> BlockDesign:
+    d = BlockDesign(name="pr")
+    d.add_module(RTLModule.make("a", [RandomLogicCloud(n_luts=300)]))
+    d.add_module(RTLModule.make("b", [RandomLogicCloud(n_luts=120)]))
+    d.add_instance("a0", "a")
+    d.add_instance("b0", "b")
+    d.connect("a0", "b0")
+    return d
+
+
+def _stats(name, n_luts):
+    return compute_stats(
+        synthesize(RTLModule.make(name, [RandomLogicCloud(n_luts=n_luts)]))
+    )
+
+
+class TestPlanning:
+    def test_partitions_have_headroom(self, z020):
+        plan = plan_partitions(_design(), z020, headroom=1.3)
+        assert set(plan.partitions) == {"a", "b"}
+        out = apply_update(plan, _stats("a", 300))
+        assert out.fits
+        assert out.wasted_slices > 0  # the paper's "wasting area"
+
+    def test_near_full_design_cannot_be_planned(self, z020):
+        """The paper's core critique: PR partitions with headroom cannot
+        even be provisioned for a design that fills the device."""
+        from repro.cnv.design import cnv_design
+
+        with pytest.raises(ValueError, match="cannot provision"):
+            plan_partitions(cnv_design(), z020, headroom=1.25)
+
+    def test_bad_headroom(self, z020):
+        with pytest.raises(ValueError):
+            plan_partitions(_design(), z020, headroom=0.0)
+
+
+class TestUpdates:
+    def test_shrinking_update_fits_but_wastes(self, z020):
+        plan = plan_partitions(_design(), z020, headroom=1.2)
+        out = apply_update(plan, _stats("a", 150))  # half the logic
+        assert out.fits
+        assert out.wasted_slices > plan.partitions["a"].capacity_slices // 3
+
+    def test_growing_update_fails(self, z020):
+        plan = plan_partitions(_design(), z020, headroom=1.2)
+        out = apply_update(plan, _stats("a", 900))  # 3x the logic
+        assert not out.fits
+        assert out.requires_refloorplan
+
+    def test_unknown_module_rejected(self, z020):
+        plan = plan_partitions(_design(), z020)
+        with pytest.raises(KeyError):
+            apply_update(plan, _stats("ghost", 10))
+
+    def test_waste_accounting(self, z020):
+        plan = plan_partitions(_design(), z020, headroom=1.5)
+        demands = {"a": 100, "b": 50}
+        assert plan.waste_for(demands) == plan.total_capacity - 150

@@ -1,0 +1,58 @@
+"""Tests for the cross-policy flow comparison helper."""
+
+import pytest
+
+from repro.flow.blockdesign import BlockDesign
+from repro.flow.policy import FixedCF, MinimalCFPolicy
+from repro.flow.results import compare_flows
+from repro.flow.stitcher import SAParams
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.constructs import RandomLogicCloud
+
+
+@pytest.fixture(scope="module")
+def small_design():
+    d = BlockDesign(name="cmp")
+    d.add_module(RTLModule.make("m", [RandomLogicCloud(n_luts=200, avg_inputs=4.6)]))
+    for i in range(3):
+        d.add_instance(f"i{i}", "m")
+    d.connect("i0", "i1", width=4)
+    d.connect("i1", "i2", width=4)
+    return d
+
+
+class TestCompareFlows:
+    def test_runs_all_policies(self, small_design, z020):
+        cmp = compare_flows(
+            small_design,
+            z020,
+            {"loose": FixedCF(1.8), "minimal": MinimalCFPolicy()},
+            sa_params=SAParams(max_iters=2000, seed=0),
+        )
+        assert set(cmp.results) == {"loose", "minimal"}
+        assert cmp.n_instances == 3
+
+    def test_best_selectors(self, small_design, z020):
+        cmp = compare_flows(
+            small_design,
+            z020,
+            {"loose": FixedCF(1.8), "minimal": MinimalCFPolicy()},
+            sa_params=SAParams(max_iters=2000, seed=0),
+        )
+        # The fixed policy needs exactly one run per module.
+        assert cmp.best_by_runs() == "loose"
+        assert cmp.best_by_placed() in ("loose", "minimal")
+
+    def test_render(self, small_design, z020):
+        cmp = compare_flows(
+            small_design,
+            z020,
+            {"loose": FixedCF(1.8)},
+            sa_params=SAParams(max_iters=1000, seed=0),
+        )
+        out = cmp.render()
+        assert "loose" in out and "placed" in out
+
+    def test_empty_policies_rejected(self, small_design, z020):
+        with pytest.raises(ValueError):
+            compare_flows(small_design, z020, {})

@@ -1,0 +1,48 @@
+"""Meta-tests: the DESIGN.md experiment index matches the benchmark suite."""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestExperimentIndex:
+    def test_every_indexed_bench_exists(self):
+        """Each `benchmarks/...py` referenced in DESIGN.md is a real file."""
+        design = (REPO / "DESIGN.md").read_text()
+        refs = set(re.findall(r"benchmarks/(test_\w+\.py)", design))
+        assert refs, "DESIGN.md lists no bench targets?"
+        missing = [r for r in refs if not (REPO / "benchmarks" / r).exists()]
+        assert not missing, f"DESIGN.md references missing benches: {missing}"
+
+    def test_every_paper_artifact_has_a_bench(self):
+        """One bench per table/figure the paper's evaluation reports."""
+        benches = {p.name for p in (REPO / "benchmarks").glob("test_*.py")}
+        required = {
+            "test_table1_block_impl.py",
+            "test_fig3_footprints.py",
+            "test_fig4_cf_distribution.py",
+            "test_fig5_full_placement.py",
+            "test_fig7_dataset_coverage.py",
+            "test_fig8_cf_balance.py",
+            "test_table2_estimator_errors.py",
+            "test_fig9_feature_importance.py",
+            "test_fig10_pred_vs_actual.py",
+            "test_fig11_cnv_estimation.py",
+            "test_fig12_cnv_importance.py",
+            "test_fig13_estimator_impact.py",
+            "test_resolution_study.py",
+        }
+        assert required <= benches
+
+    def test_examples_exist_and_are_runnable_scripts(self):
+        examples = list((REPO / "examples").glob("*.py"))
+        assert len(examples) >= 3
+        for ex in examples:
+            text = ex.read_text()
+            assert '__name__ == "__main__"' in text, ex.name
+            assert text.startswith("#!/usr/bin/env python3"), ex.name
+
+    def test_docs_exist(self):
+        for doc in ("README.md", "DESIGN.md", "docs/modeling.md", "CONTRIBUTING.md"):
+            assert (REPO / doc).exists(), doc

@@ -1,0 +1,74 @@
+"""Tests for gradient-boosted regression trees."""
+
+import numpy as np
+import pytest
+
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.metrics import mean_squared_error, r2_score
+
+
+def _data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 3))
+    y = np.where(X[:, 0] > 0, 2.0, -1.0) + 0.5 * X[:, 1] ** 2
+    return X, y
+
+
+class TestFit:
+    def test_learns_nonlinear_target(self):
+        X, y = _data()
+        model = GradientBoostingRegressor(n_estimators=150, learning_rate=0.1).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.97
+
+    def test_train_loss_monotone_decreasing(self):
+        X, y = _data()
+        model = GradientBoostingRegressor(n_estimators=60, learning_rate=0.1).fit(X, y)
+        losses = model.train_losses_
+        assert losses[-1] < losses[0]
+        # Mostly monotone: no step should increase the loss materially.
+        assert all(b <= a + 1e-6 for a, b in zip(losses, losses[1:]))
+
+    def test_more_rounds_fit_better(self):
+        X, y = _data()
+        short = GradientBoostingRegressor(n_estimators=5, learning_rate=0.1).fit(X, y)
+        long_ = GradientBoostingRegressor(n_estimators=100, learning_rate=0.1).fit(X, y)
+        assert mean_squared_error(y, long_.predict(X)) < mean_squared_error(
+            y, short.predict(X)
+        )
+
+    def test_subsample(self):
+        X, y = _data()
+        model = GradientBoostingRegressor(
+            n_estimators=50, learning_rate=0.2, subsample=0.5, seed=3
+        ).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.9
+
+    def test_deterministic(self):
+        X, y = _data()
+        a = GradientBoostingRegressor(n_estimators=10, subsample=0.7, seed=5)
+        b = GradientBoostingRegressor(n_estimators=10, subsample=0.7, seed=5)
+        np.testing.assert_array_equal(a.fit(X, y).predict(X), b.fit(X, y).predict(X))
+
+    def test_importances_normalized(self):
+        X, y = _data()
+        model = GradientBoostingRegressor(n_estimators=20).fit(X, y)
+        assert model.feature_importances_.sum() == pytest.approx(1.0)
+        assert model.feature_importances_[0] > model.feature_importances_[2]
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=1.5)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingRegressor().predict(np.zeros((1, 3)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor().fit(np.zeros((3, 2)), np.zeros(4))

@@ -1,0 +1,53 @@
+"""Tests for footprint rendering."""
+
+from repro.device.column import ColumnKind
+from repro.place.render import render_footprint, render_side_by_side
+from repro.place.shapes import Footprint
+
+_LL = ColumnKind.CLBLL
+_B = ColumnKind.BRAM
+
+
+class TestRenderFootprint:
+    def test_occupied_and_empty_cells(self):
+        fp = Footprint((_LL, _LL), (2, 1))
+        out = render_footprint(fp)
+        lines = out.splitlines()
+        assert lines[-1] == "##"  # bottom row fully occupied
+        assert lines[-2] == "#."  # second row only first column
+
+    def test_hard_block_glyph(self):
+        fp = Footprint((_LL, _B), (2, 2))
+        out = render_footprint(fp)
+        assert "B" in out
+
+    def test_title_and_stats(self):
+        fp = Footprint((_LL,), (4,))
+        out = render_footprint(fp, title="mod")
+        assert "mod" in out and "rect=1.00" in out
+
+    def test_tall_footprint_downsampled(self):
+        fp = Footprint((_LL,), (100,))
+        out = render_footprint(fp, max_height=10)
+        assert len(out.splitlines()) <= 11
+
+    def test_zero_height(self):
+        fp = Footprint((_LL,), (0,))
+        out = render_footprint(fp)
+        assert "." in out
+
+
+class TestSideBySide:
+    def test_separator_and_both_titles(self):
+        a = Footprint((_LL, _LL), (3, 3))
+        b = Footprint((_LL,), (2,))
+        out = render_side_by_side(a, b, labels=("left", "right"))
+        assert "|" in out
+        assert "left" in out and "right" in out
+
+    def test_row_alignment(self):
+        a = Footprint((_LL,), (5,))
+        b = Footprint((_LL,), (2,))
+        lines = render_side_by_side(a, b).splitlines()
+        seps = [line.index("|") for line in lines if "|" in line]
+        assert len(set(seps)) == 1  # the separator column is aligned

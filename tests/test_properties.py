@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.column import ColumnKind
+from repro.ml.tree import DecisionTreeRegressor
+from repro.netlist.stats import compute_stats
+from repro.place.shapes import Footprint
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.constructs import RandomLogicCloud, ShiftRegisterBank, SumOfSquares
+from repro.synth.mapper import synthesize
+from repro.synth.packing import (
+    ff_slice_demand_fragmented,
+    lut_pack_efficiency,
+    sharing_efficiency,
+)
+from repro.utils.rng import derive_seed, module_noise
+
+_KINDS = st.sampled_from(
+    [ColumnKind.CLBLL, ColumnKind.CLBLM, ColumnKind.BRAM, ColumnKind.DSP]
+)
+
+
+class TestRngProperties:
+    @given(st.lists(st.one_of(st.text(), st.integers(), st.floats(allow_nan=False)), max_size=4))
+    def test_derive_seed_range(self, parts):
+        s = derive_seed(*parts)
+        assert 0 <= s < 2**63
+
+    @given(st.text(min_size=1), st.floats(-10, 10), st.floats(0, 10))
+    def test_module_noise_in_range(self, name, lo, width):
+        hi = lo + width
+        v = module_noise(name, "salt", lo, hi)
+        assert lo <= v <= hi
+
+
+class TestFootprintProperties:
+    @given(
+        st.lists(st.tuples(_KINDS, st.integers(0, 50)), min_size=1, max_size=12)
+    )
+    def test_rectangularity_bounds(self, cols):
+        kinds = tuple(k for k, _ in cols)
+        heights = tuple(h for _, h in cols)
+        fp = Footprint(kinds, heights)
+        assert 0.0 <= fp.rectangularity <= 1.0
+        assert fp.occupied_clbs <= fp.bbox_clbs
+
+    @given(
+        st.lists(st.tuples(_KINDS, st.integers(0, 50)), min_size=1, max_size=12)
+    )
+    def test_trim_preserves_occupancy(self, cols):
+        fp = Footprint(tuple(k for k, _ in cols), tuple(h for _, h in cols))
+        assert fp.trimmed().occupied_clbs == fp.occupied_clbs
+
+
+class TestPackingProperties:
+    @given(st.floats(1.0, 6.0))
+    def test_lut_eff_bounds(self, avg):
+        assert 0.72 <= lut_pack_efficiency(avg) <= 1.15
+
+    @given(st.floats(0.34, 1.0), st.floats(0.0, 2.0))
+    def test_sharing_bounds(self, density, pressure):
+        assert 0.0 <= sharing_efficiency(density, pressure) <= 1.0
+
+    @given(st.lists(st.integers(1, 200), min_size=1, max_size=40))
+    def test_fragmented_ff_demand_lower_bound(self, groups):
+        frag = ff_slice_demand_fragmented(groups)
+        ideal = math.ceil(sum(groups) / 8)
+        assert frag >= ideal
+        assert frag <= ideal + len(groups)
+
+    @given(st.integers(1, 64), st.integers(1, 16), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_more_control_sets_never_cheaper(self, n_regs, depth, split):
+        n_cs = min(split, n_regs)
+        few = compute_stats(
+            synthesize(
+                RTLModule.make(
+                    "p", [ShiftRegisterBank(n_regs=n_regs, depth=depth, n_control_sets=1)]
+                )
+            )
+        )
+        many = compute_stats(
+            synthesize(
+                RTLModule.make(
+                    "p",
+                    [ShiftRegisterBank(n_regs=n_regs, depth=depth, n_control_sets=n_cs)],
+                )
+            )
+        )
+        assert many.ff_slice_demand >= few.ff_slice_demand
+
+
+class TestSynthesisProperties:
+    @given(st.integers(1, 500), st.floats(2.0, 5.5))
+    @settings(max_examples=30, deadline=None)
+    def test_cloud_lut_count_exact(self, n_luts, avg):
+        s = compute_stats(
+            synthesize(
+                RTLModule.make(
+                    "c", [RandomLogicCloud(n_luts=n_luts, avg_inputs=avg)]
+                )
+            )
+        )
+        assert s.n_lut == n_luts
+
+    @given(st.integers(2, 48), st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_carry_chain_slices_consistent(self, width, terms):
+        s = compute_stats(
+            synthesize(RTLModule.make("c", [SumOfSquares(width=width, n_terms=terms)]))
+        )
+        assert sum(s.carry_chain_slices) == s.n_carry4
+        assert s.max_chain_slices == max(s.carry_chain_slices)
+
+
+class TestTreeProperties:
+    @given(
+        st.integers(10, 80),
+        st.integers(1, 4),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_predictions_within_target_range(self, n, depth, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 3))
+        y = rng.uniform(0.9, 1.7, size=n)
+        model = DecisionTreeRegressor(max_depth=depth).fit(X, y)
+        pred = model.predict(X)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+    @given(st.integers(5, 60), st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_depth_bounded(self, n, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 2))
+        y = rng.normal(size=n)
+        model = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert model.depth() <= 3

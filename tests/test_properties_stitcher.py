@@ -1,0 +1,86 @@
+"""Property-based tests for the stitcher (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.column import ColumnKind
+from repro.device.grid import DeviceGrid
+from repro.flow.blockdesign import BlockDesign
+from repro.flow.stitcher import SAParams, stitch
+from repro.place.shapes import Footprint
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.constructs import RandomLogicCloud
+
+_LL = ColumnKind.CLBLL
+_LM = ColumnKind.CLBLM
+
+_GRID = DeviceGrid.from_kinds(
+    "prop", [_LL, _LM, _LL, _LM, _LL, _LM, _LL, _LL], n_regions=1
+)
+
+_footprints = st.lists(
+    st.tuples(
+        st.sampled_from([(_LL,), (_LM,), (_LL, _LM), (_LM, _LL)]),
+        st.integers(1, 30),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _build(fp_specs):
+    d = BlockDesign(name="prop")
+    fps = {}
+    for k, (kinds, h) in enumerate(fp_specs):
+        name = f"m{k}"
+        d.add_module(RTLModule.make(name, [RandomLogicCloud(n_luts=2)]))
+        d.add_instance(f"i{k}", name)
+        fps[name] = Footprint(kinds, (h,) * len(kinds))
+        if k:
+            d.connect(f"i{k - 1}", f"i{k}", width=2)
+    return d, fps
+
+
+class TestStitcherInvariants:
+    @given(_footprints, st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_no_overlap_ever(self, fp_specs, seed):
+        d, fps = _build(fp_specs)
+        res = stitch(d, fps, _GRID, SAParams(max_iters=800, seed=seed))
+        assert res.occupancy.max() <= 1
+
+    @given(_footprints, st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_occupancy_equals_placed_area(self, fp_specs, seed):
+        d, fps = _build(fp_specs)
+        res = stitch(d, fps, _GRID, SAParams(max_iters=800, seed=seed))
+        placed_area = sum(
+            fps[d.instances[k].module].occupied_clbs
+            for k in range(len(d.instances))
+            if res.placements[f"i{k}"] is not None
+        )
+        assert int(np.sum(res.occupancy)) == placed_area
+
+    @given(_footprints, st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_placements_pattern_compatible(self, fp_specs, seed):
+        d, fps = _build(fp_specs)
+        res = stitch(d, fps, _GRID, SAParams(max_iters=800, seed=seed))
+        all_kinds = _GRID.kinds()
+        for k in range(len(d.instances)):
+            pos = res.placements[f"i{k}"]
+            if pos is None:
+                continue
+            fp = fps[d.instances[k].module].trimmed()
+            x, y = pos
+            assert all_kinds[x : x + fp.width] == fp.col_kinds
+            assert 0 <= y <= _GRID.height_clbs - fp.max_height
+
+    @given(_footprints)
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic_across_runs(self, fp_specs):
+        d, fps = _build(fp_specs)
+        a = stitch(d, fps, _GRID, SAParams(max_iters=500, seed=7))
+        b = stitch(d, fps, _GRID, SAParams(max_iters=500, seed=7))
+        assert a.placements == b.placements

@@ -1,0 +1,96 @@
+"""Deeper tests of the quick placement / naive estimate (Fig. 1)."""
+
+import math
+
+import pytest
+
+from repro.netlist.netlist import NetlistBuilder
+from repro.netlist.stats import compute_stats
+from repro.place.quick import naive_slice_estimate, quick_place
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.constructs import (
+    BlockMemory,
+    MacArray,
+    RandomLogicCloud,
+    SumOfSquares,
+)
+from repro.synth.mapper import synthesize
+
+
+def _stats(*constructs, name="qp"):
+    return compute_stats(synthesize(RTLModule.make(name, list(constructs))))
+
+
+class TestNaiveEstimate:
+    def test_scales_linearly_with_luts(self):
+        small = _stats(RandomLogicCloud(n_luts=200), name="a")
+        big = _stats(RandomLogicCloud(n_luts=800), name="a")
+        ratio = naive_slice_estimate(big) / naive_slice_estimate(small)
+        assert 3.0 < ratio < 5.0
+
+    def test_monotone_in_each_resource(self):
+        b1 = NetlistBuilder("m1")
+        b1.add_luts(100)
+        base = naive_slice_estimate(compute_stats(b1.build()))
+        b2 = NetlistBuilder("m2")
+        b2.add_luts(100)
+        cs = b2.control_set("clk")
+        b2.add_ffs(400, cs)
+        with_ffs = naive_slice_estimate(compute_stats(b2.build()))
+        assert with_ffs >= base
+
+    def test_dominant_resource_drives_estimate(self):
+        """A pure-FF module estimates close to ceil(FF/8)."""
+        b = NetlistBuilder("ffs")
+        cs = b.control_set("clk")
+        b.add_ffs(800, cs)
+        est = naive_slice_estimate(compute_stats(b.build()))
+        assert est == math.ceil(800 / 8)
+
+    def test_minimum_one(self):
+        b = NetlistBuilder("none")
+        b.add_broadcast_net(fanout=1)
+        assert naive_slice_estimate(compute_stats(b.build())) == 1
+
+
+class TestShapeReport:
+    def test_tall_aspect(self):
+        rep = quick_place(_stats(RandomLogicCloud(n_luts=1000)))
+        assert rep.est_height_clbs > rep.est_width_cols
+
+    def test_capacity_covers_estimate(self):
+        rep = quick_place(_stats(RandomLogicCloud(n_luts=500)))
+        assert rep.est_width_cols * 2 * rep.est_height_clbs >= rep.est_slices
+
+    def test_carry_overrides_aspect(self):
+        rep = quick_place(_stats(SumOfSquares(width=64, n_terms=1)))
+        assert rep.est_height_clbs >= rep.min_height_clbs > 10
+
+    def test_dsp_widens(self):
+        no_dsp = quick_place(_stats(RandomLogicCloud(n_luts=100), name="a"))
+        with_dsp = quick_place(
+            _stats(
+                RandomLogicCloud(n_luts=100),
+                MacArray(n_macs=8, width=8, use_dsp=True),
+                name="b",
+            )
+        )
+        assert with_dsp.dsp48 == 8
+        assert with_dsp.est_width_cols >= no_dsp.est_width_cols
+
+    def test_bram_recorded(self):
+        rep = quick_place(_stats(BlockMemory(n_bram36=5)))
+        assert rep.bram36 == 5
+
+    def test_m_slice_demand(self):
+        from repro.rtlgen.constructs import DistributedMemory
+
+        rep = quick_place(_stats(DistributedMemory(width=32, depth=128)))
+        assert rep.m_slice_demand == math.ceil(32 * 2 / 4)
+
+    def test_shape_area_consistent(self):
+        rep = quick_place(_stats(RandomLogicCloud(n_luts=300)))
+        assert rep.shape_area_clbs == rep.est_width_cols * rep.est_height_clbs
+        assert rep.aspect_ratio == pytest.approx(
+            rep.est_width_cols / rep.est_height_clbs
+        )

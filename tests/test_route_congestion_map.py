@@ -1,0 +1,78 @@
+"""Tests for the inter-block routing-congestion map."""
+
+import numpy as np
+import pytest
+
+from repro.device.column import ColumnKind
+from repro.flow.blockdesign import BlockDesign
+from repro.flow.stitcher import SAParams, stitch
+from repro.place.shapes import Footprint
+from repro.route.congestion_map import CongestionMap, congestion_map
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.constructs import RandomLogicCloud
+
+_LL = ColumnKind.CLBLL
+_LM = ColumnKind.CLBLM
+
+
+def _chain_design(n: int) -> tuple[BlockDesign, dict]:
+    d = BlockDesign(name="congestion")
+    d.add_module(RTLModule.make("m", [RandomLogicCloud(n_luts=4)]))
+    for i in range(n):
+        d.add_instance(f"i{i}", "m")
+    for i in range(n - 1):
+        d.connect(f"i{i}", f"i{i + 1}", width=16)
+    return d, {"m": Footprint((_LL, _LM), (10, 10))}
+
+
+class TestCongestionMap:
+    def test_all_edges_routed_when_placed(self, z020):
+        d, fps = _chain_design(6)
+        res = stitch(d, fps, z020, SAParams(max_iters=3000, seed=0))
+        cmap = congestion_map(d, fps, res, z020)
+        assert cmap.n_routed_edges == 5
+
+    def test_unplaced_edges_skipped(self, z020):
+        d, fps = _chain_design(3)
+        res = stitch(d, fps, z020, SAParams(max_iters=1000, seed=0))
+        # Fake an unplaced endpoint.
+        placements = dict(res.placements)
+        placements["i1"] = None
+        from dataclasses import replace
+
+        res2 = replace(res, placements=placements)
+        cmap = congestion_map(d, fps, res2, z020)
+        assert cmap.n_routed_edges == 0  # both edges touch i1
+
+    def test_demand_nonnegative_and_bounded(self, z020):
+        d, fps = _chain_design(8)
+        res = stitch(d, fps, z020, SAParams(max_iters=3000, seed=0))
+        cmap = congestion_map(d, fps, res, z020)
+        total_width = sum(e.width for e in d.edges)
+        assert cmap.column_demand.min() >= 0
+        assert cmap.peak_column_demand <= total_width
+
+    def test_compact_placement_less_congested(self, z020):
+        """A longer SA run (better placement) never increases peak demand
+        much over a barely-annealed one."""
+        d, fps = _chain_design(14)
+        good = stitch(d, fps, z020, SAParams(max_iters=20000, seed=0))
+        bad = stitch(d, fps, z020, SAParams(max_iters=150, seed=0))
+        c_good = congestion_map(d, fps, good, z020)
+        c_bad = congestion_map(d, fps, bad, z020)
+        assert c_good.column_demand.sum() <= c_bad.column_demand.sum() * 1.1
+
+    def test_render(self, z020):
+        d, fps = _chain_design(5)
+        res = stitch(d, fps, z020, SAParams(max_iters=1000, seed=0))
+        out = congestion_map(d, fps, res, z020).render()
+        assert out.startswith("[") and "peak=" in out
+
+    def test_empty_map(self):
+        cmap = CongestionMap(
+            column_demand=np.array([], dtype=np.int64),
+            row_demand=np.array([], dtype=np.int64),
+            n_routed_edges=0,
+        )
+        assert cmap.peak_column_demand == 0
+        assert cmap.render() == "<empty map>"

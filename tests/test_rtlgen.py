@@ -1,0 +1,114 @@
+"""Tests for the RTL generators and the dataset sweep."""
+
+import pytest
+
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.carry import CarryGenerator
+from repro.rtlgen.constructs import (
+    DistributedMemory,
+    LFSRBank,
+    ShiftRegisterBank,
+    SumOfSquares,
+)
+from repro.rtlgen.lfsr import LfsrGenerator
+from repro.rtlgen.lutram import LutramGenerator
+from repro.rtlgen.mixed import MixedGenerator
+from repro.rtlgen.shiftreg import ShiftRegGenerator
+from repro.rtlgen.sweep import all_generators, generate_sweep
+from repro.utils.rng import stream
+
+
+class TestConstructValidation:
+    def test_shiftreg_cs_bounds(self):
+        with pytest.raises(ValueError):
+            ShiftRegisterBank(n_regs=4, depth=2, n_control_sets=5)
+
+    def test_sum_of_squares_width(self):
+        with pytest.raises(ValueError):
+            SumOfSquares(width=1, n_terms=1)
+
+    def test_memory_positive(self):
+        with pytest.raises(ValueError):
+            DistributedMemory(width=0, depth=64)
+
+    def test_lfsr_width(self):
+        with pytest.raises(ValueError):
+            LFSRBank(width=2, count=1)
+
+
+class TestRTLModule:
+    def test_requires_constructs(self):
+        with pytest.raises(ValueError):
+            RTLModule.make("m", [])
+
+    def test_params_normalized(self):
+        m = RTLModule.make(
+            "m", [SumOfSquares(4, 1)], params={"b": 2, "a": 1}
+        )
+        assert m.params == (("a", 1), ("b", 2))
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "gen",
+        [
+            ShiftRegGenerator(),
+            LutramGenerator(),
+            CarryGenerator(),
+            LfsrGenerator(),
+            MixedGenerator(),
+        ],
+        ids=lambda g: g.family,
+    )
+    def test_sample_valid_and_deterministic(self, gen):
+        rng1 = stream(3, gen.family)
+        rng2 = stream(3, gen.family)
+        m1 = gen.sample(rng1, 0)
+        m2 = gen.sample(rng2, 0)
+        assert m1 == m2
+        assert m1.family == gen.family
+        assert m1.constructs
+
+    def test_explicit_build(self):
+        m = ShiftRegGenerator().build(
+            "sr", n_regs=8, depth=4, n_control_sets=2, fanin=2
+        )
+        assert m.name == "sr"
+        bank = m.constructs[0]
+        assert isinstance(bank, ShiftRegisterBank)
+        assert not bank.use_srl  # paper: attribute keeps stages in FFs
+
+
+class TestSweep:
+    def test_count_and_unique_names(self):
+        mods = generate_sweep(50, seed=4)
+        assert len(mods) == 50
+        names = [m.name for m in mods]
+        assert len(set(names)) == 50
+
+    def test_deterministic(self):
+        a = generate_sweep(20, seed=9)
+        b = generate_sweep(20, seed=9)
+        assert a == b
+
+    def test_seed_changes_content(self):
+        a = generate_sweep(20, seed=1)
+        b = generate_sweep(20, seed=2)
+        assert a != b
+
+    def test_all_families_present(self):
+        mods = generate_sweep(200, seed=0)
+        assert {m.family for m in mods} == set(all_generators())
+
+    def test_mix_weights_respected(self):
+        mods = generate_sweep(400, seed=0)
+        n_mixed = sum(1 for m in mods if m.family == "mixed")
+        assert 0.28 < n_mixed / len(mods) < 0.52  # nominal 0.40
+
+    def test_bad_family_rejected(self):
+        with pytest.raises(KeyError):
+            generate_sweep(5, seed=0, mix=(("nope", 1.0),))
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            generate_sweep(5, seed=0, mix=(("mixed", 0.0),))

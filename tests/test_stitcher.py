@@ -1,0 +1,126 @@
+"""Tests for the simulated-annealing stitcher."""
+
+import numpy as np
+import pytest
+
+from repro.device.column import ColumnKind
+from repro.flow.blockdesign import BlockDesign
+from repro.flow.stitcher import SAParams, StitchResult, stitch
+from repro.place.shapes import Footprint
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.constructs import RandomLogicCloud
+
+_LL = ColumnKind.CLBLL
+_LM = ColumnKind.CLBLM
+
+
+def _design(n_instances: int, modules: dict[str, Footprint]) -> tuple[BlockDesign, dict]:
+    d = BlockDesign(name="stitch-test")
+    for name in modules:
+        d.add_module(RTLModule.make(name, [RandomLogicCloud(n_luts=4)]))
+    mod_names = list(modules)
+    for i in range(n_instances):
+        d.add_instance(f"i{i}", mod_names[i % len(mod_names)])
+    for i in range(n_instances - 1):
+        d.connect(f"i{i}", f"i{i + 1}", width=4)
+    return d, modules
+
+
+class TestStitchBasics:
+    def test_all_placed_when_roomy(self, z020):
+        fp = Footprint((_LL, _LM), (10, 10))
+        d, fps = _design(8, {"m": fp})
+        res = stitch(d, fps, z020, SAParams(max_iters=3000, seed=0))
+        assert res.n_unplaced == 0
+        assert res.n_placed == 8
+
+    def test_no_overlaps(self, z020):
+        fp = Footprint((_LL, _LM), (20, 20))
+        d, fps = _design(12, {"m": fp})
+        res = stitch(d, fps, z020, SAParams(max_iters=3000, seed=0))
+        assert res.occupancy.max() <= 1
+
+    def test_column_compatibility(self, z020):
+        fp = Footprint((_LM, _LL), (5, 5))
+        d, fps = _design(4, {"m": fp})
+        res = stitch(d, fps, z020, SAParams(max_iters=2000, seed=0))
+        kinds = z020.kinds()
+        for inst, pos in res.placements.items():
+            if pos is not None:
+                x, _ = pos
+                assert kinds[x : x + 2] == (_LM, _LL)
+
+    def test_unplaceable_pattern(self, z020):
+        # No window of 5 BRAM columns exists on the device.
+        fp = Footprint((ColumnKind.BRAM,) * 5, (5,) * 5)
+        d, fps = _design(2, {"m": fp})
+        res = stitch(d, fps, z020, SAParams(max_iters=500, seed=0))
+        assert res.n_unplaced == 2
+
+    def test_missing_footprint_rejected(self, z020):
+        d, fps = _design(2, {"m": Footprint((_LL,), (5,))})
+        with pytest.raises(KeyError):
+            stitch(d, {}, z020)
+
+    def test_deterministic(self, z020):
+        fp = Footprint((_LL, _LM), (10, 10))
+        d, fps = _design(6, {"m": fp})
+        p = SAParams(max_iters=2000, seed=3)
+        r1 = stitch(d, fps, z020, p)
+        r2 = stitch(d, fps, z020, p)
+        assert r1.placements == r2.placements
+        assert r1.final_cost == r2.final_cost
+
+
+class TestStitchQuality:
+    def test_wirelength_below_random(self, z020):
+        """SA must improve on the greedy initial wirelength for a chain."""
+        fp = Footprint((_LL,), (6,))
+        d, fps = _design(20, {"m": fp})
+        short = stitch(d, fps, z020, SAParams(max_iters=20000, seed=0))
+        long_ = stitch(d, fps, z020, SAParams(max_iters=200, seed=0))
+        assert short.final_cost <= long_.final_cost * 1.05
+
+    def test_overfull_device_leaves_unplaced(self, tiny_grid):
+        # Each block occupies a full CLB column of the tiny device.
+        fp = Footprint((_LL,), (50,))
+        d, fps = _design(10, {"m": fp})
+        res = stitch(d, fps, tiny_grid, SAParams(max_iters=2000, seed=0))
+        assert res.n_placed == 4  # tiny grid has exactly 4 CLBLL columns
+        assert res.n_unplaced == 6
+
+    def test_cost_includes_unplaced_penalty(self, tiny_grid):
+        fp = Footprint((_LL,), (50,))
+        d, fps = _design(10, {"m": fp})
+        params = SAParams(max_iters=2000, seed=0, unplaced_weight=40.0)
+        res = stitch(d, fps, tiny_grid, params)
+        assert res.final_cost >= res.wirelength
+
+    def test_hard_block_alignment(self, z020):
+        fp = Footprint((_LL, _LM, ColumnKind.BRAM), (10, 10, 10))
+        d, fps = _design(3, {"m": fp})
+        res = stitch(d, fps, z020, SAParams(max_iters=2000, seed=0))
+        for pos in res.placements.values():
+            if pos is not None:
+                assert pos[1] % 5 == 0
+
+    def test_render(self, z020):
+        fp = Footprint((_LL, _LM), (10, 10))
+        d, fps = _design(4, {"m": fp})
+        res = stitch(d, fps, z020, SAParams(max_iters=500, seed=0))
+        art = res.render()
+        assert "#" in art and "\n" in art
+
+
+class TestStitchResult:
+    def test_fields_consistent(self, z020):
+        fp = Footprint((_LL, _LM), (10, 10))
+        d, fps = _design(6, {"m": fp})
+        res = stitch(d, fps, z020, SAParams(max_iters=1500, seed=0))
+        assert isinstance(res, StitchResult)
+        assert res.n_placed + res.n_unplaced == 6
+        assert res.converged_at <= res.iterations
+        placed_area = sum(
+            fp.occupied_clbs for inst, pos in res.placements.items() if pos
+        )
+        assert int(np.sum(res.occupancy)) == placed_area

@@ -1,0 +1,58 @@
+"""Tests for the ASCII plot helpers."""
+
+import pytest
+
+from repro.utils.plots import ascii_histogram, ascii_scatter
+
+
+class TestHistogram:
+    def test_bars_scale_with_counts(self):
+        out = ascii_histogram({1.0: 10, 2.0: 5})
+        lines = out.splitlines()
+        bar1 = lines[0].count("#")
+        bar2 = lines[1].count("#")
+        assert bar1 == 2 * bar2
+
+    def test_sorted_by_key(self):
+        out = ascii_histogram({2.0: 1, 1.0: 1, 1.5: 1})
+        keys = [line.split("|")[0].strip() for line in out.splitlines()]
+        assert keys == sorted(keys, key=float)
+
+    def test_zero_count_visible(self):
+        out = ascii_histogram({1.0: 0, 2.0: 4})
+        assert "1.00" in out
+
+    def test_counts_printed(self):
+        out = ascii_histogram({1.0: 7})
+        assert out.rstrip().endswith("7")
+
+    def test_empty(self):
+        assert ascii_histogram({}) == "<empty histogram>"
+
+    def test_title(self):
+        assert ascii_histogram({1.0: 1}, title="T").startswith("T")
+
+
+class TestScatter:
+    def test_points_plotted(self):
+        out = ascii_scatter([1.0, 2.0], [1.0, 2.0])
+        assert out.count("*") >= 1
+
+    def test_diagonal_overlay(self):
+        out = ascii_scatter([1.0], [1.0], diagonal=True)
+        assert "." in out
+
+    def test_axis_labels(self):
+        out = ascii_scatter([0.9, 1.7], [0.9, 1.7])
+        assert "0.90" in out and "1.70" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        assert ascii_scatter([], []) == "<empty scatter>"
+
+    def test_constant_data(self):
+        out = ascii_scatter([1.0, 1.0], [1.0, 1.0])
+        assert "*" in out  # degenerate span handled

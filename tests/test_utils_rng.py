@@ -1,0 +1,68 @@
+"""Tests for deterministic RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, module_noise, stream
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed("a", 1) == derive_seed("a", 1)
+
+    def test_distinct_keys(self):
+        assert derive_seed("a") != derive_seed("b")
+
+    def test_field_separator_prevents_gluing(self):
+        assert derive_seed("ab", "c") != derive_seed("a", "bc")
+
+    def test_order_matters(self):
+        assert derive_seed("a", "b") != derive_seed("b", "a")
+
+    def test_range(self):
+        for parts in [("x",), (1, 2, 3), (3.14, True)]:
+            s = derive_seed(*parts)
+            assert 0 <= s < 2**63
+
+    def test_numeric_vs_string_distinct(self):
+        assert derive_seed(1) != derive_seed("1")
+
+
+class TestStream:
+    def test_reproducible(self):
+        a = stream(7, "x").random(5)
+        b = stream(7, "x").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_independent_keys(self):
+        a = stream(7, "x").random(5)
+        b = stream(7, "y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds(self):
+        a = stream(1, "x").random(5)
+        b = stream(2, "x").random(5)
+        assert not np.array_equal(a, b)
+
+
+class TestModuleNoise:
+    def test_in_range(self):
+        for name in ("m1", "m2", "weights_14"):
+            v = module_noise(name, "pack", 0.0, 0.07)
+            assert 0.0 <= v < 0.07
+
+    def test_deterministic(self):
+        assert module_noise("m", "s", 0, 1) == module_noise("m", "s", 0, 1)
+
+    def test_salt_independent(self):
+        assert module_noise("m", "a", 0, 1) != module_noise("m", "b", 0, 1)
+
+    def test_name_dependent(self):
+        assert module_noise("m1", "s", 0, 1) != module_noise("m2", "s", 0, 1)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            module_noise("m", "s", 1.0, 0.0)
+
+    def test_degenerate_range_ok(self):
+        assert module_noise("m", "s", 0.5, 0.5) == 0.5

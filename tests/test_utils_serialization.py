@@ -1,0 +1,65 @@
+"""Tests for JSON/NPZ persistence helpers."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import (
+    dump_json,
+    load_arrays,
+    load_json,
+    save_arrays,
+    to_jsonable,
+)
+
+
+@dataclass
+class _Point:
+    x: int
+    y: float
+
+
+class TestToJsonable:
+    def test_dataclass(self):
+        assert to_jsonable(_Point(1, 2.5)) == {"x": 1, "y": 2.5}
+
+    def test_numpy_scalars(self):
+        out = to_jsonable({"a": np.int64(3), "b": np.float64(1.5), "c": np.bool_(True)})
+        assert out == {"a": 3, "b": 1.5, "c": True}
+        assert isinstance(out["a"], int)
+
+    def test_array(self):
+        assert to_jsonable(np.arange(3)) == [0, 1, 2]
+
+    def test_nested(self):
+        data = {"pts": [_Point(0, 0.0), _Point(1, 1.0)]}
+        assert to_jsonable(data) == {"pts": [{"x": 0, "y": 0.0}, {"x": 1, "y": 1.0}]}
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "d.json"
+        dump_json({"k": [1, 2, 3]}, path)
+        assert load_json(path) == {"k": [1, 2, 3]}
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "d.json"
+        path.write_text('{"format_version": 999, "data": {}}')
+        with pytest.raises(ValueError, match="format_version"):
+            load_json(path)
+
+
+class TestArrayRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "a.npz"
+        x = np.random.default_rng(0).random((4, 3))
+        save_arrays(path, X=x, y=np.arange(4))
+        out = load_arrays(path)
+        np.testing.assert_array_equal(out["X"], x)
+        np.testing.assert_array_equal(out["y"], np.arange(4))
+
+    def test_version_marker_excluded(self, tmp_path):
+        path = tmp_path / "a.npz"
+        save_arrays(path, a=np.zeros(1))
+        assert set(load_arrays(path)) == {"a"}

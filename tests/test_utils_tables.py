@@ -1,0 +1,58 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.utils.tables import Table, format_value
+
+
+class TestFormatValue:
+    def test_none_is_dash(self):
+        assert format_value(None) == "-"
+
+    def test_float_formatting(self):
+        assert format_value(3.14159) == "3.142"
+
+    def test_custom_float_fmt(self):
+        assert format_value(3.14159, "{:.1f}") == "3.1"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_int_not_float_formatted(self):
+        assert format_value(42) == "42"
+
+
+class TestTable:
+    def test_render_contains_cells(self):
+        t = Table(["a", "b"])
+        t.add_row([1, "x"])
+        out = t.render()
+        assert "a" in out and "b" in out and "1" in out and "x" in out
+
+    def test_alignment(self):
+        t = Table(["col", "c2"])
+        t.add_row(["xxxxxxxx", 1])
+        t.add_row(["y", 2])
+        lines = t.render().splitlines()
+        # Both data rows have their second column starting at the same offset.
+        assert lines[-2].index("1") == lines[-1].index("2")
+
+    def test_title(self):
+        t = Table(["a"], title="My Title")
+        t.add_row([1])
+        assert t.render().startswith("My Title")
+
+    def test_row_arity_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_add_rows_and_count(self):
+        t = Table(["a"])
+        t.add_rows([[1], [2], [3]])
+        assert t.n_rows == 3

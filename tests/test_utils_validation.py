@@ -1,0 +1,55 @@
+"""Tests for validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive(1, "x")
+        check_positive(0.001, "x")
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(bad, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        check_non_negative(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-1e-9, "x")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        check_in_range(0, "x", 0, 1)
+        check_in_range(1, "x", 0, 1)
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range(0, "x", 0, 1, inclusive=False)
+        check_in_range(0.5, "x", 0, 1, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="x"):
+            check_in_range(2, "x", 0, 1)
+
+
+class TestCheckType:
+    def test_accepts(self):
+        check_type(1, "x", int)
+        check_type("s", "x", int, str)
+
+    def test_rejects_with_names(self):
+        with pytest.raises(TypeError, match="int"):
+            check_type("s", "x", int)
