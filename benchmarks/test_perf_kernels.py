@@ -77,8 +77,8 @@ def test_perf_tree_fit(benchmark):
     assert model.depth() > 2
 
 
-def test_perf_stitch_small(benchmark, grid):
-    """A short stitching run over 40 macros."""
+def _stitch_case() -> tuple[BlockDesign, dict[str, Footprint]]:
+    """A 40-macro chain, the stitcher benchmarks' shared workload."""
     from repro.device.column import ColumnKind
 
     d = BlockDesign(name="perf")
@@ -88,9 +88,47 @@ def test_perf_stitch_small(benchmark, grid):
         d.add_instance(f"i{i}", "m")
     for i in range(39):
         d.connect(f"i{i}", f"i{i + 1}", width=4)
+    return d, {"m": fp}
+
+
+def test_perf_stitch_small(benchmark, grid):
+    """A short stitching run over 40 macros (fast kernel, the default)."""
+    d, fps = _stitch_case()
 
     def run():
-        return stitch(d, {"m": fp}, grid, SAParams(max_iters=2000, seed=0))
+        return stitch(d, fps, grid, SAParams(max_iters=2000, seed=0))
 
     result = benchmark(run)
     assert result.n_unplaced == 0
+
+
+def test_perf_stitch_fast_vs_reference(grid):
+    """The fast kernel must beat the reference kernel on the same run.
+
+    This is the CI perf-smoke gate: it fails if a regression makes the
+    vectorized kernel slower than the straightforward one, and doubles
+    as an equivalence check on the benchmark workload.
+    """
+    import time
+
+    d, fps = _stitch_case()
+    params = SAParams(max_iters=2000, seed=0)
+
+    def best_of(kernel: str, results: list) -> float:
+        elapsed = []
+        for _ in range(3):
+            t0 = time.perf_counter()
+            results.append(stitch(d, fps, grid, params, kernel=kernel))
+            elapsed.append(time.perf_counter() - t0)
+        return min(elapsed)
+
+    fast_results: list = []
+    ref_results: list = []
+    t_fast = best_of("fast", fast_results)
+    t_ref = best_of("reference", ref_results)
+    assert fast_results[0].placements == ref_results[0].placements
+    assert fast_results[0].final_cost == ref_results[0].final_cost
+    assert t_fast < t_ref, (
+        f"fast kernel ({t_fast * 1e3:.1f} ms) slower than reference "
+        f"({t_ref * 1e3:.1f} ms)"
+    )

@@ -7,6 +7,7 @@ Usage::
     python -m repro mincf <family> [opts]      # minimal CF of one module
     python -m repro dataset -n 500 -o ds.npz   # generate + save a dataset
     python -m repro train -d ds.npz -o est.json  # train a CF estimator
+    python -m repro stitch design.json --cf 1.5 --restarts 4  # place a design
     python -m repro report [-n 2000] [-o EXPERIMENTS.md]  # all experiments
 """
 
@@ -18,6 +19,10 @@ from pathlib import Path
 from typing import Sequence
 
 __all__ = ["main", "build_parser"]
+
+#: Mirrors :data:`repro.flow.stitcher.KERNELS` (kept literal so parser
+#: construction stays import-light; tests assert the two agree).
+_SA_KERNELS = ("fast", "reference")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,6 +61,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--features", default="additional")
     p_tr.add_argument("--rf-trees", type=int, default=200)
     p_tr.add_argument("-o", "--output", default="cf_estimator.json")
+
+    p_st = sub.add_parser(
+        "stitch", help="pre-implement and stitch a saved block design"
+    )
+    p_st.add_argument("design", help="design JSON (see export-design)")
+    p_st.add_argument("--part", default="xc7z020")
+    cf_group = p_st.add_mutually_exclusive_group()
+    cf_group.add_argument("--cf", type=float, default=1.5,
+                          help="constant correction factor")
+    cf_group.add_argument("--minimal", action="store_true",
+                          help="use the ground-truth minimal CF per module")
+    p_st.add_argument("--kernel", choices=list(_SA_KERNELS), default="fast")
+    p_st.add_argument("--restarts", type=int, default=1,
+                      help="independent SA seeds; the best run wins")
+    p_st.add_argument("--workers", type=int, default=0,
+                      help="worker processes for the restarts (0 = serial)")
+    p_st.add_argument("--sa-iters", type=int, default=20000)
+    p_st.add_argument("--seed", type=int, default=0)
+    p_st.add_argument("--render", action="store_true",
+                      help="print the ASCII occupancy map")
 
     p_rep = sub.add_parser("report", help="run every experiment, emit Markdown")
     p_rep.add_argument("-n", "--n-modules", type=int, default=800)
@@ -156,6 +181,49 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stitch(args: argparse.Namespace) -> int:
+    from repro.device import make_part
+    from repro.flow.design_io import load_design
+    from repro.flow.policy import FixedCF, MinimalCFPolicy
+    from repro.flow.rwflow import run_rw_flow
+    from repro.flow.stitcher import SAParams
+
+    design = load_design(args.design)
+    grid = make_part(args.part)
+    policy = MinimalCFPolicy() if args.minimal else FixedCF(args.cf)
+    res = run_rw_flow(
+        design,
+        grid,
+        policy,
+        sa_params=SAParams(max_iters=args.sa_iters, seed=args.seed),
+        kernel=args.kernel,
+        n_seeds=args.restarts,
+        n_workers=args.workers or None,
+    )
+    s = res.stitch
+    print(
+        f"{design.name} on {grid.name}: {s.n_placed} placed, "
+        f"{s.n_unplaced} unplaced, wirelength {s.wirelength:.1f}, "
+        f"cost {s.final_cost:.1f}"
+    )
+    print(
+        f"  converged at iter {s.converged_at}/{s.iterations}, "
+        f"{s.illegal_moves} illegal moves, {res.total_tool_runs} tool runs"
+    )
+    if s.stats is not None:
+        st = s.stats
+        print(
+            f"  kernel={st.kernel} seed={st.seed} "
+            f"accept rate {st.accept_rate * 100:.1f}%, "
+            f"{st.total_s:.2f}s "
+            f"(setup {st.setup_s:.2f} + initial {st.initial_s:.2f} "
+            f"+ anneal {st.anneal_s:.2f} + fill {st.fill_s:.2f})"
+        )
+    if args.render:
+        print(s.render())
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.context import ExperimentContext
     from repro.analysis.report import generate_report
@@ -180,6 +248,7 @@ _COMMANDS = {
     "mincf": _cmd_mincf,
     "dataset": _cmd_dataset,
     "train": _cmd_train,
+    "stitch": _cmd_stitch,
     "report": _cmd_report,
 }
 

@@ -95,6 +95,8 @@ class DSEExplorer:
         Device for full-design stitching (defaults to ``grid``).
     sa_params:
         Stitcher budget per variant.
+    kernel:
+        Stitcher move-kernel (``"fast"`` or ``"reference"``).
     """
 
     def __init__(
@@ -105,6 +107,7 @@ class DSEExplorer:
         *,
         stitch_grid: DeviceGrid | None = None,
         sa_params: SAParams | None = None,
+        kernel: str = "fast",
     ) -> None:
         base.validate()
         self.base = base
@@ -112,6 +115,7 @@ class DSEExplorer:
         self.policy = policy or FixedCF(1.7)
         self.stitch_grid = stitch_grid or grid
         self.sa_params = sa_params or SAParams(max_iters=8000, seed=0)
+        self.kernel = kernel
         self._cache: dict[tuple, ImplementedModule] = {}
         self.points: list[DSEPoint] = []
 
@@ -164,7 +168,8 @@ class DSEExplorer:
             name: impl.outcome.result.footprint for name, impl in impls.items()
         }
         stitched: StitchResult = stitch(
-            self.base, footprints, self.stitch_grid, self.sa_params
+            self.base, footprints, self.stitch_grid, self.sa_params,
+            kernel=self.kernel,
         )
         counts = self.base.instance_counts()
         area = sum(impls[m].used_slices * n for m, n in counts.items())

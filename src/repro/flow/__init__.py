@@ -8,7 +8,10 @@
   (fixed, sweep-from-0.9, ground-truth minimal; the learned policy lives
   in :mod:`repro.estimator`);
 * :mod:`repro.flow.stitcher` — the simulated-annealing macro placer that
-  assembles pre-implemented blocks into a full-device placement;
+  assembles pre-implemented blocks into a full-device placement (two
+  equivalence-tested move kernels: ``"fast"`` and ``"reference"``);
+* :mod:`repro.flow.restarts` — multi-seed SA restarts
+  (:func:`~repro.flow.restarts.stitch_best`);
 * :mod:`repro.flow.monolithic` — the flat "AMD EDA"-style whole-device
   flow used as the paper's baseline (Table I, Fig. 5a);
 * :mod:`repro.flow.rwflow` — the end-to-end RapidWright-style flow;
@@ -34,10 +37,23 @@ from repro.flow.policy import (
     SweepCF,
 )
 from repro.flow.preimpl import ImplementedModule, implement_design, implement_module
-from repro.flow.prflow import PRPlan, Partition, apply_update, plan_partitions
+from repro.flow.prflow import (
+    PRPlan,
+    Partition,
+    apply_update,
+    plan_partitions,
+    refloorplan,
+)
+from repro.flow.restarts import stitch_best
 from repro.flow.results import FlowComparison, compare_flows
 from repro.flow.rwflow import RWFlowResult, run_rw_flow
-from repro.flow.stitcher import SAParams, StitchResult, stitch
+from repro.flow.stitcher import (
+    KERNELS,
+    SAParams,
+    StitchResult,
+    StitchStats,
+    stitch,
+)
 
 __all__ = [
     "Bitstream",
@@ -51,6 +67,7 @@ __all__ = [
     "FlowInfeasibleError",
     "ImplementedModule",
     "Instance",
+    "KERNELS",
     "MinimalCFPolicy",
     "MonolithicResult",
     "PRPlan",
@@ -58,6 +75,7 @@ __all__ = [
     "RWFlowResult",
     "SAParams",
     "StitchResult",
+    "StitchStats",
     "SweepCF",
     "analyze_design",
     "apply_update",
@@ -68,7 +86,9 @@ __all__ = [
     "load_design",
     "monolithic_flow",
     "plan_partitions",
+    "refloorplan",
     "run_rw_flow",
     "save_design",
     "stitch",
+    "stitch_best",
 ]

@@ -1,0 +1,103 @@
+"""Multi-seed stitching restarts.
+
+Simulated annealing is cheap to restart and its final cost varies with
+the seed, so the classic quality lever (RapidLayout-style stochastic
+placement) is to anneal several independent seeds and keep the best run.
+``stitch_best`` does exactly that, optionally fanning the seeds out over
+worker processes with :mod:`concurrent.futures`.
+
+Determinism: the winner depends only on the seed list — results are
+collected in seed order and ties break toward the earliest seed — so the
+same seeds produce the same :class:`~repro.flow.stitcher.StitchResult`
+regardless of ``n_workers`` (enforced by
+``tests/test_determinism_cross_process.py``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Sequence
+
+from repro.device.grid import DeviceGrid
+from repro.flow.blockdesign import BlockDesign
+from repro.flow.stitcher import SAParams, StitchResult, stitch
+from repro.place.shapes import Footprint
+
+__all__ = ["stitch_best"]
+
+
+def _run_one(
+    args: tuple[BlockDesign, dict[str, Footprint], DeviceGrid, SAParams, str],
+) -> StitchResult:
+    """Worker entry point (module-level so it pickles)."""
+    design, footprints, grid, params, kernel = args
+    return stitch(design, footprints, grid, params, kernel=kernel)
+
+
+def stitch_best(
+    design: BlockDesign,
+    footprints: dict[str, Footprint],
+    grid: DeviceGrid,
+    params: SAParams | None = None,
+    *,
+    n_seeds: int = 4,
+    n_workers: int | None = None,
+    seeds: Sequence[int] | None = None,
+    kernel: str = "fast",
+) -> StitchResult:
+    """Anneal several independent seeds and return the best run.
+
+    Parameters
+    ----------
+    design, footprints, grid, params:
+        As for :func:`~repro.flow.stitcher.stitch`; ``params.seed`` is
+        the base seed of the restart family.
+    n_seeds:
+        Number of restarts when ``seeds`` is not given; seed ``k`` of the
+        family is ``params.seed + k``.
+    n_workers:
+        Worker processes to fan the seeds over.  ``None``, 0 or 1 runs
+        serially in-process; the winner is identical either way.
+    seeds:
+        Explicit seed list, overriding ``n_seeds``.
+    kernel:
+        Move-kernel choice, forwarded to :func:`stitch`.
+
+    Returns
+    -------
+    StitchResult
+        The run with the lowest ``final_cost``; ties break toward the
+        earliest seed in the list.  ``result.stats.seed`` records the
+        winning seed.
+    """
+    params = params or SAParams()
+    if seeds is None:
+        if n_seeds < 1:
+            raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
+        seeds = [params.seed + k for k in range(n_seeds)]
+    else:
+        seeds = list(seeds)
+        if not seeds:
+            raise ValueError("seeds must not be empty")
+
+    jobs = [
+        (design, footprints, grid, replace(params, seed=s), kernel) for s in seeds
+    ]
+    if n_workers is None or n_workers <= 1 or len(jobs) == 1:
+        results = [_run_one(job) for job in jobs]
+    else:
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(n_workers, len(jobs))
+            ) as pool:
+                # map() preserves seed order, which the tiebreak relies on.
+                results = list(pool.map(_run_one, jobs))
+        except OSError:  # process pools unavailable (restricted sandboxes)
+            results = [_run_one(job) for job in jobs]
+
+    best = results[0]
+    for res in results[1:]:
+        if res.final_cost < best.final_cost:
+            best = res
+    return best

@@ -14,6 +14,7 @@ from repro.device.grid import DeviceGrid
 from repro.flow.blockdesign import BlockDesign
 from repro.flow.policy import CFPolicy
 from repro.flow.preimpl import ImplementedModule, implement_design
+from repro.flow.restarts import stitch_best
 from repro.flow.stitcher import SAParams, StitchResult, stitch
 
 __all__ = ["RWFlowResult", "run_rw_flow"]
@@ -57,6 +58,9 @@ def run_rw_flow(
     *,
     stitch_grid: DeviceGrid | None = None,
     sa_params: SAParams | None = None,
+    kernel: str = "fast",
+    n_seeds: int = 1,
+    n_workers: int | None = None,
 ) -> RWFlowResult:
     """Compile ``design`` with pre-implemented blocks.
 
@@ -74,6 +78,13 @@ def run_rw_flow(
         stitching on the xc7z045 (§VIII).
     sa_params:
         Stitcher annealing parameters.
+    kernel:
+        Stitcher move-kernel (``"fast"`` or ``"reference"``).
+    n_seeds:
+        SA restarts; values > 1 stitch ``n_seeds`` independent seeds via
+        :func:`~repro.flow.restarts.stitch_best` and keep the best run.
+    n_workers:
+        Worker processes for the restarts (``None``/1 = serial).
     """
     implemented = implement_design(design, grid, policy)
     footprints = {
@@ -81,6 +92,13 @@ def run_rw_flow(
         for name, impl in implemented.items()
         if impl.outcome.result.footprint is not None
     }
-    result = stitch(design, footprints, stitch_grid or grid, sa_params)
+    target = stitch_grid or grid
+    if n_seeds > 1:
+        result = stitch_best(
+            design, footprints, target, sa_params,
+            n_seeds=n_seeds, n_workers=n_workers, kernel=kernel,
+        )
+    else:
+        result = stitch(design, footprints, target, sa_params, kernel=kernel)
     runs = sum(m.outcome.n_runs for m in implemented.values())
     return RWFlowResult(implemented=implemented, stitch=result, total_tool_runs=runs)

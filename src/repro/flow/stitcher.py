@@ -8,11 +8,35 @@ which the paper ties directly to footprint irregularity: ragged skylines
 collide more, slowing convergence and inflating the final cost (§VIII:
 the estimator's tighter, more rectangular footprints converge 1.37x
 faster with 40% lower cost than constant CF = 1.68).
+
+Two interchangeable kernels implement the geometry/cost primitives under
+one shared driver loop:
+
+* ``kernel="fast"`` (default) — per-column occupancy bitmasks stored as
+  Python big-ints (an overlap probe is one shift+AND per column, and the
+  greedy packer finds the lowest legal row with a logarithmic bit
+  dilation instead of a row scan), per-footprint compatible-site tables
+  shared by every instance of a module, incrementally cached instance
+  centers, and flat numpy edge-endpoint arrays so whole-design cost
+  sums are single vectorized gathers.
+* ``kernel="reference"`` — the original straightforward implementation
+  (numpy occupancy slicing, per-edge Python sums).  Kept forever as the
+  executable specification that the fast kernel is tested against.
+
+Both kernels draw from the same batched uniform stream (one
+``Generator.random(block)`` call amortizes the per-draw RNG overhead),
+so a fixed seed produces identical placements, costs and history on
+either kernel — enforced by ``tests/test_stitcher_equivalence.py``.
+With the integer edge widths ``BlockDesign`` produces, every HPWL term
+is a dyadic rational that float64 evaluates exactly in any summation
+order, which is what makes the equivalence bitwise rather than
+approximate.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,10 +46,13 @@ from repro.device.grid import DeviceGrid
 from repro.flow.blockdesign import BlockDesign
 from repro.place.shapes import Footprint
 
-__all__ = ["SAParams", "StitchResult", "stitch"]
+__all__ = ["KERNELS", "SAParams", "StitchResult", "StitchStats", "stitch"]
 
 _HARD_KINDS = (ColumnKind.BRAM, ColumnKind.DSP)
 _HARD_PITCH = 5  # CLB rows per BRAM/DSP site
+
+#: Selectable move-kernel implementations.
+KERNELS = ("fast", "reference")
 
 
 @dataclass(frozen=True)
@@ -44,6 +71,45 @@ class SAParams:
     #: Probability of a same-module swap per move.
     p_swap: float = 0.15
     seed: int = 0
+
+
+@dataclass(frozen=True)
+class StitchStats:
+    """Instrumentation of one stitching run.
+
+    Timings are wall-clock seconds per phase; counters split the move
+    mix into attempts and acceptances.  All counters are deterministic
+    for a fixed seed; the timings are not, so the whole object is
+    excluded from :class:`StitchResult` equality.
+    """
+
+    kernel: str
+    seed: int
+    setup_s: float
+    initial_s: float
+    anneal_s: float
+    fill_s: float
+    move_attempts: int
+    place_attempts: int
+    swap_attempts: int
+    move_accepts: int
+    place_accepts: int
+    swap_accepts: int
+    illegal_moves: int
+    #: ``(iteration, temperature)`` at the end of each temperature step.
+    temperature_trace: tuple[tuple[int, float], ...] = ()
+
+    @property
+    def total_s(self) -> float:
+        """Wall-clock total across all phases."""
+        return self.setup_s + self.initial_s + self.anneal_s + self.fill_s
+
+    @property
+    def accept_rate(self) -> float:
+        """Accepted fraction over all attempted moves."""
+        attempts = self.move_attempts + self.place_attempts + self.swap_attempts
+        accepts = self.move_accepts + self.place_accepts + self.swap_accepts
+        return accepts / attempts if attempts else 0.0
 
 
 @dataclass(frozen=True)
@@ -72,6 +138,8 @@ class StitchResult:
         Best-cost trajectory as ``(iteration, cost)`` improvement points.
     occupancy:
         Final occupancy grid (columns x CLB rows), for rendering.
+    stats:
+        Per-phase timings, move counters and the temperature trace.
     """
 
     placements: dict[str, tuple[int, int] | None]
@@ -85,7 +153,8 @@ class StitchResult:
     history: tuple[tuple[int, float], ...] = field(
         compare=False, repr=False, default=()
     )
-    occupancy: np.ndarray = field(compare=False, repr=False, default=None)
+    occupancy: np.ndarray | None = field(compare=False, repr=False, default=None)
+    stats: StitchStats | None = field(compare=False, repr=False, default=None)
 
     def iters_to_cost(self, target: float) -> int | None:
         """First iteration whose best cost is <= ``target``.
@@ -116,8 +185,113 @@ class StitchResult:
         return "\n".join(lines)
 
 
-class _Stitcher:
-    """Mutable state of one annealing run."""
+class _UniformBuffer:
+    """Uniform [0, 1) draws, batched into one RNG call per block.
+
+    Every random decision in the driver and the move kernel goes through
+    this buffer, so both kernels consume the exact same stream for a
+    given seed (the precondition for fast-vs-reference equivalence).
+    """
+
+    __slots__ = ("_rng", "_block", "_buf", "_i")
+
+    def __init__(self, rng: np.random.Generator, block: int) -> None:
+        self._rng = rng
+        self._block = block
+        self._buf = rng.random(block).tolist()
+        self._i = 0
+
+    def next(self) -> float:
+        i = self._i
+        buf = self._buf
+        if i >= len(buf):
+            self._buf = buf = self._rng.random(self._block).tolist()
+            i = 0
+        self._i = i + 1
+        return buf[i]
+
+    def index(self, n: int) -> int:
+        """One draw mapped to ``{0, ..., n-1}``."""
+        k = int(self.next() * n)
+        return n - 1 if k >= n else k
+
+
+def _dilate_down(mask: int, h: int) -> int:
+    """OR of ``mask >> k`` for ``k`` in ``[0, h)`` (logarithmic doubling).
+
+    Bit ``y`` of the result is set iff ``mask`` has any bit in
+    ``[y, y + h)`` — i.e. the set of anchor rows a column of height ``h``
+    collides at.
+    """
+    out = mask
+    covered = 1
+    while covered < h:
+        s = min(covered, h - covered)
+        out |= out >> s
+        covered += s
+    return out
+
+
+class _SiteTable:
+    """Compatible-site table of one unique (trimmed) footprint.
+
+    Shared by every instance of the same module, so a design with heavy
+    reuse (cnvW1A1: 175 instances / 74 modules) builds each table once.
+    """
+
+    __slots__ = (
+        "footprint",
+        "anchors_x",
+        "y_step",
+        "y_max",
+        "n_y",
+        "area",
+        "max_height",
+        "half_w",
+        "half_h",
+        "heights_arr",
+        "masks",
+        "allowed_mask",
+    )
+
+    def __init__(self, grid: DeviceGrid, fp: Footprint) -> None:
+        self.footprint = fp
+        self.anchors_x = grid.compatible_x_anchors(fp.col_kinds)
+        self.y_step = (
+            _HARD_PITCH if any(k in _HARD_KINDS for k in fp.col_kinds) else 1
+        )
+        self.y_max = grid.height_clbs - fp.max_height
+        self.n_y = self.y_max // self.y_step + 1 if self.y_max >= 0 else 0
+        self.area = fp.occupied_clbs
+        self.max_height = fp.max_height
+        self.half_w = fp.width / 2.0
+        self.half_h = fp.max_height / 2.0
+        self.heights_arr = fp.heights_array()
+        self.masks = tuple(
+            (c, (1 << int(h)) - 1, int(h))
+            for c, h in enumerate(fp.heights)
+            if h
+        )
+        allowed = 0
+        if self.y_max >= 0:
+            if self.y_step == 1:
+                allowed = (1 << (self.y_max + 1)) - 1
+            else:
+                for y in range(0, self.y_max + 1, self.y_step):
+                    allowed |= 1 << y
+        self.allowed_mask = allowed
+
+
+class _KernelBase:
+    """Shared state and move logic of one annealing run.
+
+    Subclasses provide the geometry/cost primitives (``fits``, ``paint``,
+    ``set_pos``, ``incident_cost``, ``wirelength``, ``lowest_fit_y``,
+    ``occupancy_array``); everything that touches the random stream or
+    decides moves lives here, once, so both kernels behave identically.
+    """
+
+    name = "?"
 
     def __init__(
         self,
@@ -133,27 +307,193 @@ class _Stitcher:
         self.edges = edges
         self.params = params
         self.n = len(names)
-        self.occ = np.zeros((grid.n_cols, grid.height_clbs), dtype=np.int16)
+        # Per-footprint site tables, shared across same-module instances.
+        table_index: dict[Footprint, int] = {}
+        self.tables: list[_SiteTable] = []
+        self.table_of: list[int] = []
+        for fp in footprints:
+            idx = table_index.get(fp)
+            if idx is None:
+                idx = len(self.tables)
+                table_index[fp] = idx
+                self.tables.append(_SiteTable(grid, fp))
+            self.table_of.append(idx)
+        self.anchors_x = [self.tables[t].anchors_x for t in self.table_of]
+        self.y_step = [self.tables[t].y_step for t in self.table_of]
+        self.y_max = [self.tables[t].y_max for t in self.table_of]
+        self.n_y = [self.tables[t].n_y for t in self.table_of]
+        self.areas = [self.tables[t].area for t in self.table_of]
         self.pos: list[tuple[int, int] | None] = [None] * self.n
-        self.heights = [fp.heights_array() for fp in footprints]
-        self.areas = [fp.occupied_clbs for fp in footprints]
-        self.anchors_x = [
-            grid.compatible_x_anchors(fp.col_kinds) for fp in footprints
-        ]
-        self.y_step = [
-            _HARD_PITCH if any(k in _HARD_KINDS for k in fp.col_kinds) else 1
-            for fp in footprints
-        ]
-        self.y_max = [grid.height_clbs - fp.max_height for fp in footprints]
         # Incident edges per instance for O(deg) cost deltas.
         self.incident: list[list[int]] = [[] for _ in range(self.n)]
         for ei, (a, b, _w) in enumerate(edges):
             self.incident[a].append(ei)
             self.incident[b].append(ei)
-        self.rng = np.random.default_rng(params.seed)
         self.illegal = 0
+        self.move_attempts = 0
+        self.place_attempts = 0
+        self.swap_attempts = 0
+        self.move_accepts = 0
+        self.place_accepts = 0
+        self.swap_accepts = 0
 
-    # --------------------------------------------------------------- geometry
+    # ------------------------------------------------------------ primitives
+
+    def fits(self, i: int, x: int, y: int) -> bool:
+        raise NotImplementedError
+
+    def paint(self, i: int, x: int, y: int, delta: int) -> None:
+        raise NotImplementedError
+
+    def set_pos(self, i: int, p: tuple[int, int] | None) -> None:
+        self.pos[i] = p
+
+    def incident_cost(self, i: int) -> float:
+        raise NotImplementedError
+
+    def wirelength(self) -> float:
+        raise NotImplementedError
+
+    def lowest_fit_y(self, i: int, x: int, bound: int | None = None) -> int | None:
+        """Lowest legal anchor row for ``i`` in column ``x``.
+
+        Rows at or above ``bound`` are rejected (the greedy packer's
+        cannot-beat-the-best pruning).
+        """
+        raise NotImplementedError
+
+    def occupancy_array(self) -> np.ndarray:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ cost
+
+    def total_cost(self) -> float:
+        pen = self.params.unplaced_weight * sum(
+            self.areas[i] for i in range(self.n) if self.pos[i] is None
+        )
+        return self.wirelength() + pen
+
+    # ------------------------------------------------------------ initial
+
+    def greedy_initial(self) -> None:
+        """Tallest-first best-fit packing.
+
+        For each block, all compatible x anchors are scanned and the
+        globally lowest fitting position is taken, which keeps the
+        skyline level — the classic strip-packing heuristic.  Blocks are
+        ordered by height, then area, so tall blocks claim full columns
+        before shorter ones fragment them.
+        """
+        order = sorted(
+            range(self.n),
+            key=lambda i: (-self.tables[self.table_of[i]].max_height, -self.areas[i]),
+        )
+        for i in order:
+            best: tuple[int, int] | None = None
+            for x in self.anchors_x[i]:
+                y = self.lowest_fit_y(i, x, None if best is None else best[1])
+                if y is not None and (best is None or y < best[1]):
+                    best = (x, y)
+            if best is not None:
+                self.set_pos(i, best)
+                self.paint(i, best[0], best[1], +1)
+
+    def first_fit_fill(self) -> None:
+        """Deterministic first-fit of any block SA left unplaced (the
+        random place moves only sample a few sites per attempt)."""
+        for i in range(self.n):
+            if self.pos[i] is not None:
+                continue
+            for x in self.anchors_x[i]:
+                y = self.lowest_fit_y(i, x)
+                if y is not None:
+                    self.set_pos(i, (x, y))
+                    self.paint(i, x, y, +1)
+                    break
+
+    # ------------------------------------------------------------ moves
+
+    def random_site(self, i: int, u: _UniformBuffer) -> tuple[int, int] | None:
+        xs = self.anchors_x[i]
+        if not xs or self.y_max[i] < 0:
+            return None
+        x = xs[u.index(len(xs))]
+        y = u.index(self.n_y[i]) * self.y_step[i]
+        return x, y
+
+    def try_move(self, i: int, temp: float, u: _UniformBuffer) -> float:
+        """Relocate instance ``i``; returns the accepted cost delta."""
+        self.move_attempts += 1
+        site = self.random_site(i, u)
+        if site is None:
+            return 0.0
+        old = self.pos[i]
+        assert old is not None
+        self.paint(i, old[0], old[1], -1)
+        x, y = site
+        if not self.fits(i, x, y):
+            self.paint(i, old[0], old[1], +1)
+            self.illegal += 1
+            return 0.0
+        before = self.incident_cost(i)
+        self.set_pos(i, (x, y))
+        after = self.incident_cost(i)
+        delta = after - before
+        if delta <= 0 or u.next() < math.exp(-delta / max(temp, 1e-9)):
+            self.paint(i, x, y, +1)
+            self.move_accepts += 1
+            return delta
+        self.set_pos(i, old)
+        self.paint(i, old[0], old[1], +1)
+        return 0.0
+
+    def try_place(self, i: int, u: _UniformBuffer) -> float:
+        """Attempt to place an unplaced instance (always beneficial)."""
+        self.place_attempts += 1
+        for _ in range(8):
+            site = self.random_site(i, u)
+            if site is None:
+                return 0.0
+            x, y = site
+            if self.fits(i, x, y):
+                self.set_pos(i, (x, y))
+                self.paint(i, x, y, +1)
+                self.place_accepts += 1
+                gain = self.incident_cost(i) - self.params.unplaced_weight * self.areas[i]
+                return gain
+            self.illegal += 1
+        return 0.0
+
+    def try_swap(self, i: int, j: int, temp: float, u: _UniformBuffer) -> float:
+        """Swap two placed instances with identical footprints."""
+        self.swap_attempts += 1
+        pi, pj = self.pos[i], self.pos[j]
+        if pi is None or pj is None or pi == pj:
+            return 0.0
+        before = self.incident_cost(i) + self.incident_cost(j)
+        self.set_pos(i, pj)
+        self.set_pos(j, pi)
+        after = self.incident_cost(i) + self.incident_cost(j)
+        delta = after - before
+        if delta <= 0 or u.next() < math.exp(-delta / max(temp, 1e-9)):
+            self.swap_accepts += 1
+            return delta  # identical footprints: occupancy is unchanged
+        self.set_pos(i, pi)
+        self.set_pos(j, pj)
+        return 0.0
+
+
+class _ReferenceKernel(_KernelBase):
+    """The original straightforward primitives (executable specification)."""
+
+    name = "reference"
+
+    def __init__(self, grid, names, footprints, edges, params) -> None:
+        super().__init__(grid, names, footprints, edges, params)
+        self.occ = np.zeros((grid.n_cols, grid.height_clbs), dtype=np.int16)
+        self.heights = [self.tables[t].heights_arr for t in self.table_of]
+
+    # ------------------------------------------------------------ geometry
 
     def fits(self, i: int, x: int, y: int) -> bool:
         hs = self.heights[i]
@@ -171,13 +511,24 @@ class _Stitcher:
             if h:
                 self.occ[x + c, y : y + h] += delta
 
+    def lowest_fit_y(self, i: int, x: int, bound: int | None = None) -> int | None:
+        for y in range(0, self.y_max[i] + 1, self.y_step[i]):
+            if bound is not None and y >= bound:
+                return None
+            if self.fits(i, x, y):
+                return y
+        return None
+
+    def occupancy_array(self) -> np.ndarray:
+        return self.occ.copy()
+
+    # ------------------------------------------------------------ cost
+
     def center(self, i: int) -> tuple[float, float]:
         p = self.pos[i]
         assert p is not None
         fp = self.fps[i]
         return (p[0] + fp.width / 2.0, p[1] + fp.max_height / 2.0)
-
-    # --------------------------------------------------------------- cost
 
     def edge_cost(self, ei: int) -> float:
         a, b, w = self.edges[ei]
@@ -190,108 +541,149 @@ class _Stitcher:
     def incident_cost(self, i: int) -> float:
         return sum(self.edge_cost(ei) for ei in self.incident[i])
 
-    def total_cost(self) -> float:
-        wl = sum(self.edge_cost(ei) for ei in range(len(self.edges)))
-        pen = self.params.unplaced_weight * sum(
-            self.areas[i] for i in range(self.n) if self.pos[i] is None
-        )
-        return wl + pen
-
     def wirelength(self) -> float:
         return sum(self.edge_cost(ei) for ei in range(len(self.edges)))
 
-    # --------------------------------------------------------------- initial
 
-    def greedy_initial(self) -> None:
-        """Tallest-first best-fit packing.
+class _FastKernel(_KernelBase):
+    """Bitmask/cached-center primitives (the default move kernel)."""
 
-        For each block, all compatible x anchors are scanned and the
-        globally lowest fitting position is taken, which keeps the
-        skyline level — the classic strip-packing heuristic.  Blocks are
-        ordered by height, then area, so tall blocks claim full columns
-        before shorter ones fragment them.
-        """
-        order = sorted(
-            range(self.n),
-            key=lambda i: (-self.fps[i].max_height, -self.areas[i]),
-        )
-        for i in order:
-            best: tuple[int, int] | None = None
-            for x in self.anchors_x[i]:
-                for y in range(0, self.y_max[i] + 1, self.y_step[i]):
-                    if best is not None and y >= best[1]:
-                        break  # cannot beat the current best in this column
-                    if self.fits(i, x, y):
-                        if best is None or y < best[1]:
-                            best = (x, y)
-                        break
-            if best is not None:
-                self.pos[i] = best
-                self.paint(i, best[0], best[1], +1)
+    name = "fast"
 
-    # --------------------------------------------------------------- moves
+    def __init__(self, grid, names, footprints, edges, params) -> None:
+        super().__init__(grid, names, footprints, edges, params)
+        # Occupancy as one big-int bitmask per column: bit y set means CLB
+        # row y is occupied.  fits() is then a shift+AND per column.
+        self.colmask = [0] * grid.n_cols
+        self.masks = [self.tables[t].masks for t in self.table_of]
+        self.half_w = [self.tables[t].half_w for t in self.table_of]
+        self.half_h = [self.tables[t].half_h for t in self.table_of]
+        # Cached centers, maintained by set_pos: python lists for the
+        # scalar per-move path, numpy arrays for the vectorized gathers.
+        self.cx = [0.0] * self.n
+        self.cy = [0.0] * self.n
+        self.cxa = np.zeros(self.n, dtype=np.float64)
+        self.cya = np.zeros(self.n, dtype=np.float64)
+        self.placed_arr = np.zeros(self.n, dtype=bool)
+        # Flat edge endpoints for vectorized whole-design cost sums.
+        self.ea = np.fromiter((e[0] for e in edges), dtype=np.intp, count=len(edges))
+        self.eb = np.fromiter((e[1] for e in edges), dtype=np.intp, count=len(edges))
+        self.ew = np.fromiter((e[2] for e in edges), dtype=np.float64, count=len(edges))
+        # Neighbor lists (other endpoint, weight) per instance; nodes with
+        # many incident edges also get index arrays for a gathered sum.
+        self.nbrs: list[list[tuple[int, int]]] = [[] for _ in range(self.n)]
+        for a, b, w in edges:
+            self.nbrs[a].append((b, w))
+            self.nbrs[b].append((a, w))
+        self.nbr_idx: list[np.ndarray | None] = [None] * self.n
+        self.nbr_w: list[np.ndarray | None] = [None] * self.n
+        for i, nb in enumerate(self.nbrs):
+            if len(nb) >= _GATHER_DEGREE:
+                self.nbr_idx[i] = np.fromiter(
+                    (o for o, _ in nb), dtype=np.intp, count=len(nb)
+                )
+                self.nbr_w[i] = np.fromiter(
+                    (w for _, w in nb), dtype=np.float64, count=len(nb)
+                )
 
-    def random_site(self, i: int) -> tuple[int, int] | None:
-        xs = self.anchors_x[i]
-        if not xs or self.y_max[i] < 0:
+    # ------------------------------------------------------------ geometry
+
+    def fits(self, i: int, x: int, y: int) -> bool:
+        cm = self.colmask
+        for c, m, _h in self.masks[i]:
+            if cm[x + c] & (m << y):
+                return False
+        return True
+
+    def paint(self, i: int, x: int, y: int, delta: int) -> None:
+        cm = self.colmask
+        if delta > 0:
+            for c, m, _h in self.masks[i]:
+                cm[x + c] |= m << y
+        else:
+            for c, m, _h in self.masks[i]:
+                cm[x + c] &= ~(m << y)
+
+    def set_pos(self, i: int, p: tuple[int, int] | None) -> None:
+        self.pos[i] = p
+        if p is None:
+            self.placed_arr[i] = False
+        else:
+            cx = p[0] + self.half_w[i]
+            cy = p[1] + self.half_h[i]
+            self.cx[i] = cx
+            self.cy[i] = cy
+            self.cxa[i] = cx
+            self.cya[i] = cy
+            self.placed_arr[i] = True
+
+    def lowest_fit_y(self, i: int, x: int, bound: int | None = None) -> int | None:
+        t = self.tables[self.table_of[i]]
+        allowed = t.allowed_mask
+        if not allowed:
             return None
-        x = int(xs[self.rng.integers(len(xs))])
-        n_y = self.y_max[i] // self.y_step[i] + 1
-        y = int(self.rng.integers(n_y)) * self.y_step[i]
-        return x, y
+        bad = 0
+        cm = self.colmask
+        for c, m, h in self.masks[i]:
+            col = cm[x + c]
+            if col:
+                bad |= _dilate_down(col, h)
+        free = allowed & ~bad
+        if not free:
+            return None
+        y = (free & -free).bit_length() - 1
+        if bound is not None and y >= bound:
+            return None
+        return y
 
-    def try_move(self, i: int, temp: float) -> float:
-        """Relocate instance ``i``; returns the accepted cost delta."""
-        site = self.random_site(i)
-        if site is None:
-            return 0.0
-        old = self.pos[i]
-        assert old is not None
-        self.paint(i, old[0], old[1], -1)
-        x, y = site
-        if not self.fits(i, x, y):
-            self.paint(i, old[0], old[1], +1)
-            self.illegal += 1
-            return 0.0
-        before = self.incident_cost(i)
-        self.pos[i] = (x, y)
-        after = self.incident_cost(i)
-        delta = after - before
-        if delta <= 0 or self.rng.random() < math.exp(-delta / max(temp, 1e-9)):
-            self.paint(i, x, y, +1)
-            return delta
-        self.pos[i] = old
-        self.paint(i, old[0], old[1], +1)
-        return 0.0
+    def occupancy_array(self) -> np.ndarray:
+        occ = np.zeros((self.grid.n_cols, self.grid.height_clbs), dtype=np.int16)
+        for i in range(self.n):
+            p = self.pos[i]
+            if p is None:
+                continue
+            x, y = p
+            for c, _m, h in self.masks[i]:
+                occ[x + c, y : y + h] += 1
+        return occ
 
-    def try_place(self, i: int) -> float:
-        """Attempt to place an unplaced instance (always beneficial)."""
-        for _ in range(8):
-            site = self.random_site(i)
-            if site is None:
-                return 0.0
-            x, y = site
-            if self.fits(i, x, y):
-                self.pos[i] = (x, y)
-                self.paint(i, x, y, +1)
-                gain = self.incident_cost(i) - self.params.unplaced_weight * self.areas[i]
-                return gain
-            self.illegal += 1
-        return 0.0
+    # ------------------------------------------------------------ cost
 
-    def try_swap(self, i: int, j: int, temp: float) -> float:
-        """Swap two placed instances with identical footprints."""
-        pi, pj = self.pos[i], self.pos[j]
-        if pi is None or pj is None or pi == pj:
+    def incident_cost(self, i: int) -> float:
+        if self.pos[i] is None:
             return 0.0
-        before = self.incident_cost(i) + self.incident_cost(j)
-        self.pos[i], self.pos[j] = pj, pi
-        after = self.incident_cost(i) + self.incident_cost(j)
-        delta = after - before
-        if delta <= 0 or self.rng.random() < math.exp(-delta / max(temp, 1e-9)):
-            return delta  # identical footprints: occupancy is unchanged
-        self.pos[i], self.pos[j] = pi, pj
-        return 0.0
+        idx = self.nbr_idx[i]
+        if idx is not None:
+            both = self.placed_arr[idx]
+            dx = np.abs(self.cxa[i] - self.cxa[idx])
+            dy = np.abs(self.cya[i] - self.cya[idx])
+            return float(np.sum(np.where(both, self.nbr_w[i] * (dx + dy), 0.0)))
+        pos = self.pos
+        cx = self.cx
+        cy = self.cy
+        xi = cx[i]
+        yi = cy[i]
+        total = 0.0
+        for o, w in self.nbrs[i]:
+            if pos[o] is not None:
+                total += w * (abs(xi - cx[o]) + abs(yi - cy[o]))
+        return total
+
+    def wirelength(self) -> float:
+        if self.ea.size == 0:
+            return 0.0
+        both = self.placed_arr[self.ea] & self.placed_arr[self.eb]
+        dx = np.abs(self.cxa[self.ea] - self.cxa[self.eb])
+        dy = np.abs(self.cya[self.ea] - self.cya[self.eb])
+        return float(np.sum(np.where(both, self.ew * (dx + dy), 0.0)))
+
+
+#: Incident-edge count above which per-move cost uses the numpy gather
+#: path; below it a scalar loop over cached centers is faster (the CNV
+#: and chain designs have degree <= 4).
+_GATHER_DEGREE = 32
+
+_KERNELS = {"fast": _FastKernel, "reference": _ReferenceKernel}
 
 
 def stitch(
@@ -299,6 +691,8 @@ def stitch(
     footprints: dict[str, Footprint],
     grid: DeviceGrid,
     params: SAParams | None = None,
+    *,
+    kernel: str = "fast",
 ) -> StitchResult:
     """Place all instances of ``design`` on ``grid``.
 
@@ -313,13 +707,21 @@ def stitch(
         Target device.
     params:
         Annealing parameters.
+    kernel:
+        ``"fast"`` (bitmask occupancy, cached centers, vectorized sums)
+        or ``"reference"`` (the straightforward implementation).  Both
+        produce identical results for a fixed seed.
 
     Returns
     -------
     StitchResult
-        Placement, cost and convergence metrics.
+        Placement, cost and convergence metrics, plus :class:`StitchStats`
+        instrumentation.
     """
+    t_start = time.perf_counter()
     params = params or SAParams()
+    if kernel not in _KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; choose from {KERNELS}")
     design.validate()
     missing = {i.module for i in design.instances} - set(footprints)
     if missing:
@@ -330,8 +732,10 @@ def stitch(
     fps = [footprints[i.module].trimmed() for i in design.instances]
     edges = [(index[e.src], index[e.dst], e.width) for e in design.edges]
 
-    st = _Stitcher(grid, names, fps, edges, params)
+    st = _KERNELS[kernel](grid, names, fps, edges, params)
+    t_setup = time.perf_counter()
     st.greedy_initial()
+    t_initial = time.perf_counter()
 
     # Same-module groups for swap moves.
     groups: dict[str, list[int]] = {}
@@ -346,7 +750,11 @@ def stitch(
     # Initial temperature: accept ~half of typical uphill deltas.
     temp = max(1.0, 0.05 * cost / max(1, len(edges)))
 
-    rng = st.rng
+    u = _UniformBuffer(
+        np.random.default_rng(params.seed),
+        block=max(256, min(8192, 4 * params.steps_per_temp)),
+    )
+    temp_trace: list[tuple[int, float]] = []
     it = 0
     # Placed/unplaced membership only changes on successful place moves,
     # so the candidate lists are maintained incrementally.
@@ -355,50 +763,41 @@ def stitch(
     while it < params.max_iters:
         for _ in range(params.steps_per_temp):
             it += 1
-            r = rng.random()
+            r = u.next()
             if unplaced_list and r < params.p_place:
-                k = int(rng.integers(len(unplaced_list)))
+                k = u.index(len(unplaced_list))
                 i = unplaced_list[k]
-                delta = st.try_place(i)
+                cost += st.try_place(i, u)
                 if st.pos[i] is not None:
                     unplaced_list[k] = unplaced_list[-1]
                     unplaced_list.pop()
                     placed_list.append(i)
-                cost += delta
             elif swappable and r < params.p_place + params.p_swap:
-                g = swappable[int(rng.integers(len(swappable)))]
-                i, j = rng.choice(len(g), size=2, replace=False)
-                cost += st.try_swap(g[int(i)], g[int(j)], temp)
+                g = swappable[u.index(len(swappable))]
+                i = u.index(len(g))
+                j = u.index(len(g) - 1)
+                if j >= i:
+                    j += 1
+                cost += st.try_swap(g[i], g[j], temp, u)
             else:
                 if not placed_list:
                     continue
-                i = placed_list[int(rng.integers(len(placed_list)))]
-                cost += st.try_move(i, temp)
+                i = placed_list[u.index(len(placed_list))]
+                cost += st.try_move(i, temp, u)
             if cost < best - 1e-9:
                 best = cost
                 improvements.append((it, best))
                 last_improve = it
             if it >= params.max_iters:
                 break
+        temp_trace.append((it, temp))
         temp *= params.alpha
         if it - last_improve > params.patience:
             break
+    t_anneal = time.perf_counter()
 
-    # Final deterministic fill: first-fit any block SA left unplaced (the
-    # random place moves only sample a few sites per attempt).
-    for i in range(st.n):
-        if st.pos[i] is not None:
-            continue
-        done = False
-        for x in st.anchors_x[i]:
-            if done:
-                break
-            for y in range(0, st.y_max[i] + 1, st.y_step[i]):
-                if st.fits(i, x, y):
-                    st.pos[i] = (x, y)
-                    st.paint(i, x, y, +1)
-                    done = True
-                    break
+    st.first_fit_fill()
+    t_fill = time.perf_counter()
 
     # Convergence point: the first iteration whose best cost is within 1%
     # of the total descent from the final cost.
@@ -409,10 +808,23 @@ def stitch(
         (it_ for it_, c in improvements if c <= threshold), improvements[-1][0]
     )
 
-    placements = {
-        names[i]: (st.pos[i] if st.pos[i] is None else tuple(st.pos[i]))
-        for i in range(st.n)
-    }
+    stats = StitchStats(
+        kernel=kernel,
+        seed=params.seed,
+        setup_s=t_setup - t_start,
+        initial_s=t_initial - t_setup,
+        anneal_s=t_anneal - t_initial,
+        fill_s=t_fill - t_anneal,
+        move_attempts=st.move_attempts,
+        place_attempts=st.place_attempts,
+        swap_attempts=st.swap_attempts,
+        move_accepts=st.move_accepts,
+        place_accepts=st.place_accepts,
+        swap_accepts=st.swap_accepts,
+        illegal_moves=st.illegal,
+        temperature_trace=tuple(temp_trace),
+    )
+    placements = {names[i]: st.pos[i] for i in range(st.n)}
     n_placed = sum(1 for p in st.pos if p is not None)
     return StitchResult(
         placements=placements,
@@ -424,5 +836,6 @@ def stitch(
         converged_at=converged_at,
         illegal_moves=st.illegal,
         history=tuple(improvements),
-        occupancy=st.occ.copy(),
+        occupancy=st.occupancy_array(),
+        stats=stats,
     )

@@ -14,6 +14,23 @@ class TestParser:
         args = build_parser().parse_args(["device"])
         assert args.part == "xc7z020"
 
+    def test_stitch_defaults(self):
+        args = build_parser().parse_args(["stitch", "d.json"])
+        assert args.kernel == "fast"
+        assert args.restarts == 1
+        assert args.workers == 0
+        assert not args.minimal
+
+    def test_stitch_kernel_choices_mirror_library(self):
+        from repro.cli import _SA_KERNELS
+        from repro.flow.stitcher import KERNELS
+
+        assert tuple(_SA_KERNELS) == tuple(KERNELS)
+
+    def test_stitch_cf_and_minimal_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stitch", "d.json", "--cf", "1.2", "--minimal"])
+
     def test_report_options(self):
         args = build_parser().parse_args(
             ["report", "-n", "100", "--rf-trees", "10", "-o", "out.md"]
@@ -72,3 +89,46 @@ class TestExportDesign:
 
         d = load_design(out)
         assert d.n_instances == 175
+
+
+class TestStitchCommand:
+    @pytest.fixture()
+    def design_json(self, tmp_path):
+        from repro.flow.blockdesign import BlockDesign
+        from repro.flow.design_io import save_design
+        from repro.rtlgen.base import RTLModule
+        from repro.rtlgen.constructs import RandomLogicCloud
+
+        d = BlockDesign(name="cli-stitch")
+        d.add_module(RTLModule.make("m", [RandomLogicCloud(n_luts=120)]))
+        for i in range(3):
+            d.add_instance(f"i{i}", "m")
+        for i in range(2):
+            d.connect(f"i{i}", f"i{i + 1}")
+        path = tmp_path / "design.json"
+        save_design(d, path)
+        return str(path)
+
+    def test_stitch_runs(self, design_json, capsys):
+        assert main(["stitch", design_json, "--sa-iters", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-stitch on xc7z020" in out
+        assert "3 placed, 0 unplaced" in out
+        assert "kernel=fast" in out
+
+    def test_stitch_restarts_and_render(self, design_json, capsys):
+        assert (
+            main(
+                [
+                    "stitch", design_json,
+                    "--sa-iters", "800",
+                    "--restarts", "2",
+                    "--kernel", "reference",
+                    "--render",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "kernel=reference" in out
+        assert "#" in out  # the occupancy map

@@ -31,10 +31,38 @@ payload = json.dumps([labels, placement, res.stitch.final_cost])
 print(hashlib.sha256(payload.encode()).hexdigest())
 """
 
+# stitch_best must pick the same winner in any interpreter and with any
+# worker count; __N_WORKERS__ is substituted before running.
+_RESTART_SNIPPET = """
+import hashlib, json
+from repro.device import xc7z020
+from repro.flow import SAParams
+from repro.flow.blockdesign import BlockDesign
+from repro.flow.restarts import stitch_best
+from repro.place.shapes import Footprint
+from repro.device.column import ColumnKind
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.constructs import RandomLogicCloud
 
-def _run() -> str:
+d = BlockDesign(name="det-restart")
+d.add_module(RTLModule.make("m", [RandomLogicCloud(n_luts=4)]))
+fp = Footprint((ColumnKind.CLBLL, ColumnKind.CLBLM), (10, 10))
+for i in range(8):
+    d.add_instance(f"i{i}", "m")
+for i in range(7):
+    d.connect(f"i{i}", f"i{i+1}", width=4)
+best = stitch_best(d, {"m": fp}, xc7z020(),
+                   SAParams(max_iters=1500, seed=2),
+                   seeds=[2, 3, 4], n_workers=__N_WORKERS__)
+placement = sorted((k, v) for k, v in best.placements.items())
+payload = json.dumps([placement, best.final_cost, best.stats.seed])
+print(hashlib.sha256(payload.encode()).hexdigest())
+"""
+
+
+def _run(snippet: str = _SNIPPET) -> str:
     out = subprocess.run(
-        [sys.executable, "-c", _SNIPPET],
+        [sys.executable, "-c", snippet],
         capture_output=True,
         text=True,
         timeout=300,
@@ -46,3 +74,10 @@ def _run() -> str:
 class TestCrossProcessDeterminism:
     def test_two_fresh_interpreters_agree(self):
         assert _run() == _run()
+
+    def test_stitch_best_worker_independent(self):
+        """Same seed list => same winner, serial or parallel, any process."""
+        serial = _run(_RESTART_SNIPPET.replace("__N_WORKERS__", "0"))
+        serial_again = _run(_RESTART_SNIPPET.replace("__N_WORKERS__", "0"))
+        parallel = _run(_RESTART_SNIPPET.replace("__N_WORKERS__", "2"))
+        assert serial == serial_again == parallel

@@ -1,32 +1,53 @@
-"""Property-based tests for the stitcher (hypothesis)."""
+"""Property-based tests for the stitcher (hypothesis).
+
+Every invariant runs against both move kernels (``fast`` and
+``reference``), so the vectorized data structures are held to the same
+geometric contract as the straightforward implementation.
+"""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.device.column import ColumnKind
 from repro.device.grid import DeviceGrid
 from repro.flow.blockdesign import BlockDesign
-from repro.flow.stitcher import SAParams, stitch
+from repro.flow.stitcher import KERNELS, SAParams, stitch
 from repro.place.shapes import Footprint
 from repro.rtlgen.base import RTLModule
 from repro.rtlgen.constructs import RandomLogicCloud
 
 _LL = ColumnKind.CLBLL
 _LM = ColumnKind.CLBLM
+_BR = ColumnKind.BRAM
+_DS = ColumnKind.DSP
+
+_HARD_PITCH = 5  # CLB rows per BRAM/DSP site (stitcher y-step)
 
 _GRID = DeviceGrid.from_kinds(
-    "prop", [_LL, _LM, _LL, _LM, _LL, _LM, _LL, _LL], n_regions=1
+    "prop",
+    [_LL, _LM, _BR, _LL, _LM, _DS, _LL, _LM, _LL, _LL],
+    n_regions=1,
 )
 
+_PATTERNS = [
+    (_LL,),
+    (_LM,),
+    (_LL, _LM),
+    (_LM, _LL),
+    (_BR,),
+    (_LM, _DS),
+    (_LL, _LM, _BR),
+]
+
 _footprints = st.lists(
-    st.tuples(
-        st.sampled_from([(_LL,), (_LM,), (_LL, _LM), (_LM, _LL)]),
-        st.integers(1, 30),
-    ),
+    st.tuples(st.sampled_from(_PATTERNS), st.integers(1, 30)),
     min_size=1,
     max_size=8,
 )
+
+_kernels = pytest.mark.parametrize("kernel", list(KERNELS))
 
 
 def _build(fp_specs):
@@ -43,30 +64,39 @@ def _build(fp_specs):
 
 
 class TestStitcherInvariants:
+    @_kernels
     @given(_footprints, st.integers(0, 5))
     @settings(max_examples=25, deadline=None)
-    def test_no_overlap_ever(self, fp_specs, seed):
+    def test_no_overlap_ever(self, kernel, fp_specs, seed):
         d, fps = _build(fp_specs)
-        res = stitch(d, fps, _GRID, SAParams(max_iters=800, seed=seed))
+        res = stitch(d, fps, _GRID, SAParams(max_iters=800, seed=seed), kernel=kernel)
         assert res.occupancy.max() <= 1
 
+    @_kernels
     @given(_footprints, st.integers(0, 5))
     @settings(max_examples=25, deadline=None)
-    def test_occupancy_equals_placed_area(self, fp_specs, seed):
+    def test_occupancy_equals_painted_footprints(self, kernel, fp_specs, seed):
+        """The occupancy grid is exactly the sum of the placed skylines."""
         d, fps = _build(fp_specs)
-        res = stitch(d, fps, _GRID, SAParams(max_iters=800, seed=seed))
-        placed_area = sum(
-            fps[d.instances[k].module].occupied_clbs
-            for k in range(len(d.instances))
-            if res.placements[f"i{k}"] is not None
-        )
-        assert int(np.sum(res.occupancy)) == placed_area
+        res = stitch(d, fps, _GRID, SAParams(max_iters=800, seed=seed), kernel=kernel)
+        expected = np.zeros((_GRID.n_cols, _GRID.height_clbs), dtype=np.int16)
+        for k in range(len(d.instances)):
+            pos = res.placements[f"i{k}"]
+            if pos is None:
+                continue
+            fp = fps[d.instances[k].module].trimmed()
+            x, y = pos
+            for c, h in enumerate(fp.heights):
+                expected[x + c, y : y + h] += 1
+        assert np.array_equal(res.occupancy, expected)
 
+    @_kernels
     @given(_footprints, st.integers(0, 5))
     @settings(max_examples=25, deadline=None)
-    def test_placements_pattern_compatible(self, fp_specs, seed):
+    def test_placements_pattern_compatible(self, kernel, fp_specs, seed):
+        """Anchors sit on matching column kinds, in bounds, pitch-aligned."""
         d, fps = _build(fp_specs)
-        res = stitch(d, fps, _GRID, SAParams(max_iters=800, seed=seed))
+        res = stitch(d, fps, _GRID, SAParams(max_iters=800, seed=seed), kernel=kernel)
         all_kinds = _GRID.kinds()
         for k in range(len(d.instances)):
             pos = res.placements[f"i{k}"]
@@ -76,11 +106,42 @@ class TestStitcherInvariants:
             x, y = pos
             assert all_kinds[x : x + fp.width] == fp.col_kinds
             assert 0 <= y <= _GRID.height_clbs - fp.max_height
+            if any(kind in (_BR, _DS) for kind in fp.col_kinds):
+                assert y % _HARD_PITCH == 0
 
+    @_kernels
+    @given(_footprints, st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_cost_decomposition(self, kernel, fp_specs, seed):
+        """``final_cost == wirelength + unplaced_weight * unplaced_area``."""
+        d, fps = _build(fp_specs)
+        params = SAParams(max_iters=800, seed=seed)
+        res = stitch(d, fps, _GRID, params, kernel=kernel)
+        unplaced_area = sum(
+            fps[d.instances[k].module].occupied_clbs
+            for k in range(len(d.instances))
+            if res.placements[f"i{k}"] is None
+        )
+        assert res.final_cost == res.wirelength + params.unplaced_weight * unplaced_area
+
+    @_kernels
     @given(_footprints)
     @settings(max_examples=15, deadline=None)
-    def test_deterministic_across_runs(self, fp_specs):
+    def test_deterministic_across_runs(self, kernel, fp_specs):
         d, fps = _build(fp_specs)
-        a = stitch(d, fps, _GRID, SAParams(max_iters=500, seed=7))
-        b = stitch(d, fps, _GRID, SAParams(max_iters=500, seed=7))
+        a = stitch(d, fps, _GRID, SAParams(max_iters=500, seed=7), kernel=kernel)
+        b = stitch(d, fps, _GRID, SAParams(max_iters=500, seed=7), kernel=kernel)
         assert a.placements == b.placements
+
+    @given(_footprints, st.integers(0, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_kernels_agree(self, fp_specs, seed):
+        """Random designs: both kernels produce the identical result."""
+        d, fps = _build(fp_specs)
+        params = SAParams(max_iters=600, seed=seed)
+        fast = stitch(d, fps, _GRID, params, kernel="fast")
+        ref = stitch(d, fps, _GRID, params, kernel="reference")
+        assert fast.placements == ref.placements
+        assert fast.final_cost == ref.final_cost
+        assert fast.history == ref.history
+        assert np.array_equal(fast.occupancy, ref.occupancy)

@@ -5,7 +5,7 @@ import pytest
 
 from repro.device.column import ColumnKind
 from repro.flow.blockdesign import BlockDesign
-from repro.flow.stitcher import SAParams, StitchResult, stitch
+from repro.flow.stitcher import SAParams, StitchResult, StitchStats, stitch
 from repro.place.shapes import Footprint
 from repro.rtlgen.base import RTLModule
 from repro.rtlgen.constructs import RandomLogicCloud
@@ -124,3 +124,120 @@ class TestStitchResult:
             fp.occupied_clbs for inst, pos in res.placements.items() if pos
         )
         assert int(np.sum(res.occupancy)) == placed_area
+
+    def test_placements_are_plain_tuples(self, z020):
+        fp = Footprint((_LL, _LM), (10, 10))
+        d, fps = _design(4, {"m": fp})
+        res = stitch(d, fps, z020, SAParams(max_iters=500, seed=0))
+        for pos in res.placements.values():
+            assert pos is None or (
+                type(pos) is tuple
+                and len(pos) == 2
+                and all(isinstance(v, int) for v in pos)
+            )
+
+    def test_stats_recorded(self, z020):
+        fp = Footprint((_LL, _LM), (10, 10))
+        d, fps = _design(6, {"m": fp})
+        res = stitch(d, fps, z020, SAParams(max_iters=1500, seed=0))
+        st = res.stats
+        assert isinstance(st, StitchStats)
+        assert st.kernel == "fast" and st.seed == 0
+        assert st.illegal_moves == res.illegal_moves
+        attempts = st.move_attempts + st.place_attempts + st.swap_attempts
+        assert 0 < attempts <= res.iterations
+        assert st.move_accepts <= st.move_attempts
+        assert st.swap_accepts <= st.swap_attempts
+        assert 0.0 <= st.accept_rate <= 1.0
+        assert st.total_s >= 0.0
+        assert st.temperature_trace
+        iters = [it for it, _t in st.temperature_trace]
+        assert iters == sorted(iters)
+        temps = [t for _it, t in st.temperature_trace]
+        assert all(b <= a for a, b in zip(temps, temps[1:]))
+
+    def test_stats_excluded_from_equality(self, z020):
+        """Two runs of one seed are == even though timings differ."""
+        fp = Footprint((_LL, _LM), (10, 10))
+        d, fps = _design(4, {"m": fp})
+        p = SAParams(max_iters=800, seed=1)
+        a = stitch(d, fps, z020, p)
+        b = stitch(d, fps, z020, p)
+        assert a == b
+        assert a.stats.anneal_s != b.stats.anneal_s or a.stats is not b.stats
+
+
+def _bare_result(**overrides) -> StitchResult:
+    """A StitchResult built directly (no SA run), for edge-case probes."""
+    fields = dict(
+        placements={},
+        n_placed=0,
+        n_unplaced=0,
+        wirelength=0.0,
+        final_cost=0.0,
+        iterations=0,
+        converged_at=0,
+        illegal_moves=0,
+    )
+    fields.update(overrides)
+    return StitchResult(**fields)
+
+
+class TestItersToCost:
+    def test_empty_history(self):
+        res = _bare_result()
+        assert res.history == ()
+        assert res.iters_to_cost(0.0) is None
+
+    def test_unreachable_target(self, z020):
+        fp = Footprint((_LL, _LM), (10, 10))
+        d, fps = _design(6, {"m": fp})
+        res = stitch(d, fps, z020, SAParams(max_iters=1500, seed=0))
+        assert res.iters_to_cost(-1.0) is None
+
+    def test_first_matching_iteration(self):
+        res = _bare_result(history=((0, 100.0), (10, 50.0), (25, 20.0)))
+        assert res.iters_to_cost(500.0) == 0
+        assert res.iters_to_cost(50.0) == 10
+        assert res.iters_to_cost(49.0) == 25
+        assert res.iters_to_cost(19.0) is None
+
+    def test_tolerance_at_boundary(self):
+        # The 1e-9 slack admits a cost equal to the target up to rounding.
+        res = _bare_result(history=((5, 10.0),))
+        assert res.iters_to_cost(10.0) == 5
+
+
+class TestRender:
+    def test_no_occupancy_recorded(self):
+        res = _bare_result()
+        assert res.render() == "<no occupancy recorded>"
+
+    def test_single_row_occupancy(self):
+        occ = np.zeros((6, 1), dtype=np.int16)
+        occ[2, 0] = 1
+        res = _bare_result(occupancy=occ)
+        art = res.render()
+        assert art == "..#..."
+
+    def test_empty_occupancy_all_dots(self):
+        occ = np.zeros((4, 3), dtype=np.int16)
+        res = _bare_result(occupancy=occ)
+        art = res.render()
+        assert "#" not in art
+        assert set(art) <= {".", "\n"}
+
+    def test_wide_grid_downsampled(self):
+        # 300 columns at max_width=100 -> 3-column steps, 100 chars/line.
+        occ = np.zeros((300, 2), dtype=np.int16)
+        occ[0, :] = 1
+        res = _bare_result(occupancy=occ)
+        lines = res.render(max_width=100).splitlines()
+        assert all(len(line) == 100 for line in lines)
+        assert all(line.startswith("#") for line in lines)
+
+    def test_narrow_grid_one_char_per_column(self):
+        occ = np.ones((5, 2), dtype=np.int16)
+        res = _bare_result(occupancy=occ)
+        lines = res.render().splitlines()
+        assert all(line == "#####" for line in lines)

@@ -1,0 +1,106 @@
+"""Fast-vs-reference kernel equivalence.
+
+The vectorized kernel must be a drop-in replacement: for a fixed seed it
+produces bitwise-identical placements, costs and history on designs of
+several sizes.  This holds exactly (not approximately) because both
+kernels share the driver's batched random stream and, with integer edge
+widths, every HPWL term is a dyadic rational that float64 evaluates
+exactly in any summation order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.device.column import ColumnKind
+from repro.flow.blockdesign import BlockDesign
+from repro.flow.stitcher import SAParams, stitch
+from repro.place.shapes import Footprint
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.constructs import RandomLogicCloud
+
+_LL = ColumnKind.CLBLL
+_LM = ColumnKind.CLBLM
+
+
+def _mixed_design(n_instances: int) -> tuple[BlockDesign, dict[str, Footprint]]:
+    """A design mixing soft, hard-block and ragged footprints."""
+    fps = {
+        "soft": Footprint((_LL, _LM), (12, 12)),
+        "ragged": Footprint((_LM, _LL, _LL), (18, 9, 4)),
+        "hard": Footprint((_LL, _LM, ColumnKind.BRAM), (10, 10, 10)),
+    }
+    d = BlockDesign(name=f"equiv{n_instances}")
+    for name in fps:
+        d.add_module(RTLModule.make(name, [RandomLogicCloud(n_luts=4)]))
+    mods = list(fps)
+    for i in range(n_instances):
+        d.add_instance(f"i{i}", mods[i % len(mods)])
+    for i in range(n_instances - 1):
+        d.connect(f"i{i}", f"i{i + 1}", width=1 + i % 7)
+    # A few chords so some nodes have degree > 2.
+    for i in range(0, n_instances - 4, 5):
+        d.connect(f"i{i}", f"i{i + 4}", width=3)
+    return d, fps
+
+
+@pytest.mark.parametrize("n_instances", [4, 12, 30])
+@pytest.mark.parametrize("seed", [0, 3])
+class TestKernelEquivalence:
+    def test_identical_results(self, z020, n_instances, seed):
+        d, fps = _mixed_design(n_instances)
+        params = SAParams(max_iters=3000, seed=seed)
+        fast = stitch(d, fps, z020, params, kernel="fast")
+        ref = stitch(d, fps, z020, params, kernel="reference")
+        assert fast.placements == ref.placements
+        assert fast.final_cost == ref.final_cost
+        assert fast.wirelength == ref.wirelength
+        assert fast.history == ref.history
+        assert fast.n_placed == ref.n_placed
+        assert fast.n_unplaced == ref.n_unplaced
+        assert fast.iterations == ref.iterations
+        assert fast.converged_at == ref.converged_at
+        assert fast.illegal_moves == ref.illegal_moves
+        assert np.array_equal(fast.occupancy, ref.occupancy)
+
+    def test_counters_agree(self, z020, n_instances, seed):
+        """Move/accept counters are part of the shared driver contract."""
+        d, fps = _mixed_design(n_instances)
+        params = SAParams(max_iters=1500, seed=seed)
+        fast = stitch(d, fps, z020, params, kernel="fast").stats
+        ref = stitch(d, fps, z020, params, kernel="reference").stats
+        assert fast.kernel == "fast" and ref.kernel == "reference"
+        for name in (
+            "move_attempts",
+            "place_attempts",
+            "swap_attempts",
+            "move_accepts",
+            "place_accepts",
+            "swap_accepts",
+            "illegal_moves",
+        ):
+            assert getattr(fast, name) == getattr(ref, name), name
+        assert fast.temperature_trace == ref.temperature_trace
+
+
+class TestKernelSelection:
+    def test_unknown_kernel_rejected(self, z020):
+        d, fps = _mixed_design(2)
+        with pytest.raises(ValueError, match="unknown kernel"):
+            stitch(d, fps, z020, SAParams(max_iters=100), kernel="turbo")
+
+    def test_crowded_device_equivalence(self, tiny_grid):
+        """Equivalence holds when most moves are illegal (full device)."""
+        fps = {"m": Footprint((_LL,), (40,))}
+        d = BlockDesign(name="crowded")
+        d.add_module(RTLModule.make("m", [RandomLogicCloud(n_luts=4)]))
+        for i in range(8):
+            d.add_instance(f"i{i}", "m")
+        for i in range(7):
+            d.connect(f"i{i}", f"i{i + 1}", width=2)
+        params = SAParams(max_iters=2000, seed=1)
+        fast = stitch(d, fps, tiny_grid, params, kernel="fast")
+        ref = stitch(d, fps, tiny_grid, params, kernel="reference")
+        assert fast.placements == ref.placements
+        assert fast.final_cost == ref.final_cost
+        assert fast.history == ref.history
+        assert fast.illegal_moves == ref.illegal_moves

@@ -1,0 +1,123 @@
+"""Tests for multi-seed stitching restarts (:mod:`repro.flow.restarts`)."""
+
+import pytest
+
+from repro.device.column import ColumnKind
+from repro.flow.blockdesign import BlockDesign
+from repro.flow.restarts import stitch_best
+from repro.flow.stitcher import SAParams, stitch
+from repro.place.shapes import Footprint
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.constructs import RandomLogicCloud
+
+_LL = ColumnKind.CLBLL
+_LM = ColumnKind.CLBLM
+
+
+@pytest.fixture()
+def chain():
+    d = BlockDesign(name="restart")
+    d.add_module(RTLModule.make("m", [RandomLogicCloud(n_luts=4)]))
+    fp = Footprint((_LL, _LM), (10, 10))
+    for i in range(10):
+        d.add_instance(f"i{i}", "m")
+    for i in range(9):
+        d.connect(f"i{i}", f"i{i + 1}", width=4)
+    return d, {"m": fp}
+
+
+class TestStitchBest:
+    def test_beats_or_matches_every_seed(self, chain, z020):
+        d, fps = chain
+        params = SAParams(max_iters=1500, seed=0)
+        best = stitch_best(d, fps, z020, params, n_seeds=4)
+        for k in range(4):
+            params_k = SAParams(max_iters=1500, seed=k)
+            single = stitch(d, fps, z020, params_k)
+            assert best.final_cost <= single.final_cost
+
+    def test_single_seed_equals_stitch(self, chain, z020):
+        d, fps = chain
+        params = SAParams(max_iters=1000, seed=5)
+        best = stitch_best(d, fps, z020, params, n_seeds=1)
+        single = stitch(d, fps, z020, params)
+        assert best.placements == single.placements
+        assert best.final_cost == single.final_cost
+
+    def test_explicit_seed_list(self, chain, z020):
+        d, fps = chain
+        params = SAParams(max_iters=1000, seed=0)
+        best = stitch_best(d, fps, z020, params, seeds=[11, 12, 13])
+        assert best.stats is not None
+        assert best.stats.seed in (11, 12, 13)
+
+    def test_deterministic_and_worker_independent(self, chain, z020):
+        d, fps = chain
+        params = SAParams(max_iters=1000, seed=0)
+        serial = stitch_best(d, fps, z020, params, n_seeds=3, n_workers=None)
+        again = stitch_best(d, fps, z020, params, n_seeds=3, n_workers=1)
+        parallel = stitch_best(d, fps, z020, params, n_seeds=3, n_workers=2)
+        assert serial.placements == again.placements == parallel.placements
+        assert serial.final_cost == again.final_cost == parallel.final_cost
+        assert serial.stats.seed == parallel.stats.seed
+
+    def test_winner_records_seed(self, chain, z020):
+        d, fps = chain
+        params = SAParams(max_iters=1000, seed=7)
+        best = stitch_best(d, fps, z020, params, n_seeds=3)
+        assert best.stats.seed in (7, 8, 9)
+
+    def test_kernel_forwarded(self, chain, z020):
+        d, fps = chain
+        params = SAParams(max_iters=800, seed=0)
+        fast = stitch_best(d, fps, z020, params, n_seeds=2, kernel="fast")
+        ref = stitch_best(d, fps, z020, params, n_seeds=2, kernel="reference")
+        assert fast.stats.kernel == "fast"
+        assert ref.stats.kernel == "reference"
+        assert fast.placements == ref.placements
+        assert fast.final_cost == ref.final_cost
+
+    def test_invalid_arguments(self, chain, z020):
+        d, fps = chain
+        with pytest.raises(ValueError, match="n_seeds"):
+            stitch_best(d, fps, z020, n_seeds=0)
+        with pytest.raises(ValueError, match="seeds"):
+            stitch_best(d, fps, z020, seeds=[])
+
+
+class TestFlowIntegration:
+    def test_rw_flow_restarts(self, z020):
+        from repro.flow.policy import FixedCF
+        from repro.flow.rwflow import run_rw_flow
+
+        d = BlockDesign(name="flow-restart")
+        d.add_module(RTLModule.make("m", [RandomLogicCloud(n_luts=120)]))
+        for i in range(3):
+            d.add_instance(f"i{i}", "m")
+        for i in range(2):
+            d.connect(f"i{i}", f"i{i + 1}")
+        base = run_rw_flow(
+            d, z020, FixedCF(1.6), sa_params=SAParams(max_iters=1000, seed=0)
+        )
+        multi = run_rw_flow(
+            d, z020, FixedCF(1.6),
+            sa_params=SAParams(max_iters=1000, seed=0), n_seeds=3,
+        )
+        assert multi.stitch.final_cost <= base.stitch.final_cost
+        assert multi.stitch.n_unplaced == 0
+
+    def test_prflow_refloorplan(self, z020):
+        from repro.flow.policy import FixedCF
+        from repro.flow.prflow import refloorplan
+
+        d = BlockDesign(name="pr-recover")
+        d.add_module(RTLModule.make("m", [RandomLogicCloud(n_luts=120)]))
+        d.add_instance("i0", "m")
+        d.add_instance("i1", "m")
+        d.connect("i0", "i1")
+        res = refloorplan(
+            d, z020, FixedCF(1.6),
+            sa_params=SAParams(max_iters=800, seed=0), n_seeds=2,
+        )
+        assert res.stitch.n_unplaced == 0
+        assert res.stitch.stats.seed in (0, 1)
