@@ -1,0 +1,87 @@
+"""Pre-implementation cache perf smoke: cold vs warm.
+
+The paper's economic argument is that pre-implemented modules are reused
+rather than recompiled (§I, §VIII).  This bench compiles a multi-module
+design twice against the same disk cache and asserts the warm run is
+served entirely from the cache — zero new tool runs, 100% hit rate and a
+meaningfully shorter wall clock.  The FlowStats of both runs are dumped
+as JSON so CI can archive them as an artifact.
+"""
+
+import json
+import os
+import time
+
+from repro.device.parts import xc7z020
+from repro.flow.blockdesign import BlockDesign
+from repro.flow.policy import SweepCF
+from repro.flow.preimpl import implement_design
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.constructs import RandomLogicCloud, SumOfSquares
+
+#: Where the FlowStats JSON lands (CI uploads this as an artifact).
+STATS_PATH = os.environ.get("REPRO_PREIMPL_STATS", "preimpl_flowstats.json")
+
+
+def _design(n_modules: int = 10) -> BlockDesign:
+    d = BlockDesign(name="preimpl-perf")
+    for i in range(n_modules):
+        d.add_module(
+            RTLModule.make(
+                f"blk{i}",
+                [
+                    RandomLogicCloud(n_luts=120 + 40 * i, avg_inputs=4.0),
+                    SumOfSquares(width=8, n_terms=1),
+                ],
+            )
+        )
+        d.add_instance(f"blk{i}_a", f"blk{i}")
+        d.add_instance(f"blk{i}_b", f"blk{i}")
+    for i in range(n_modules - 1):
+        d.connect(f"blk{i}_a", f"blk{i + 1}_a", width=8)
+    return d
+
+
+def test_perf_cold_vs_warm_cache(tmp_path):
+    d = _design()
+    grid = xc7z020()
+    policy = SweepCF(start=0.9)
+    cache_dir = tmp_path / "preimpl-cache"
+
+    t0 = time.perf_counter()
+    cold = implement_design(d, grid, policy, cache_dir=cache_dir)
+    t_cold = time.perf_counter() - t0
+    assert cold.ok
+    assert cold.stats.cache_hits == 0
+    assert cold.stats.new_tool_runs == cold.stats.total_tool_runs > 0
+
+    t0 = time.perf_counter()
+    warm = implement_design(d, grid, policy, cache_dir=cache_dir)
+    t_warm = time.perf_counter() - t0
+    assert warm.ok
+    assert warm.stats.new_tool_runs == 0
+    assert warm.stats.hit_rate == 1.0
+    assert dict(warm.modules) == dict(cold.modules)
+    assert t_warm < t_cold, (
+        f"warm run ({t_warm * 1e3:.1f} ms) not faster than cold "
+        f"({t_cold * 1e3:.1f} ms)"
+    )
+
+    payload = {
+        "design": d.name,
+        "n_unique_modules": d.n_unique,
+        "n_instances": d.n_instances,
+        "cold": {**cold.stats.to_json_dict(), "measured_wall_s": t_cold},
+        "warm": {**warm.stats.to_json_dict(), "measured_wall_s": t_warm},
+        "speedup": t_cold / t_warm,
+    }
+    with open(STATS_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+    print(f"cold: {t_cold * 1e3:.1f} ms, {cold.stats.new_tool_runs} tool runs")
+    print(
+        f"warm: {t_warm * 1e3:.1f} ms, {warm.stats.new_tool_runs} tool runs, "
+        f"hit rate {warm.stats.hit_rate:.0%} "
+        f"({t_cold / t_warm:.1f}x faster)"
+    )
+    print(f"FlowStats JSON written to {STATS_PATH}")

@@ -7,6 +7,7 @@ Usage::
     python -m repro mincf <family> [opts]      # minimal CF of one module
     python -m repro dataset -n 500 -o ds.npz   # generate + save a dataset
     python -m repro train -d ds.npz -o est.json  # train a CF estimator
+    python -m repro preimpl design.json --cache-dir .cache --workers 4  # warm the cache
     python -m repro stitch design.json --cf 1.5 --restarts 4  # place a design
     python -m repro report [-n 2000] [-o EXPERIMENTS.md]  # all experiments
 """
@@ -61,6 +62,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--features", default="additional")
     p_tr.add_argument("--rf-trees", type=int, default=200)
     p_tr.add_argument("-o", "--output", default="cf_estimator.json")
+
+    p_pi = sub.add_parser(
+        "preimpl",
+        help="pre-implement a saved block design (cached, parallel)",
+    )
+    p_pi.add_argument("design", help="design JSON (see export-design)")
+    p_pi.add_argument("--part", default="xc7z020")
+    p_pi.add_argument("--policy", choices=["fixed", "sweep", "minimal"],
+                      default="fixed", help="CF selection policy")
+    p_pi.add_argument("--cf", type=float, default=1.5,
+                      help="constant CF for --policy fixed")
+    p_pi.add_argument("--cache-dir", default=None,
+                      help="persistent module cache directory")
+    p_pi.add_argument("--workers", type=int, default=0,
+                      help="worker processes for cache misses (0 = serial)")
+    p_pi.add_argument("--json", action="store_true",
+                      help="emit the FlowStats as JSON on stdout")
 
     p_st = sub.add_parser(
         "stitch", help="pre-implement and stitch a saved block design"
@@ -181,6 +199,46 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_preimpl(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.device import make_part
+    from repro.flow.design_io import load_design
+    from repro.flow.policy import FixedCF, MinimalCFPolicy, SweepCF
+    from repro.flow.preimpl import implement_design
+
+    design = load_design(args.design)
+    grid = make_part(args.part)
+    policy = {
+        "fixed": lambda: FixedCF(args.cf),
+        "sweep": SweepCF,
+        "minimal": MinimalCFPolicy,
+    }[args.policy]()
+    result = implement_design(
+        design,
+        grid,
+        policy,
+        n_workers=args.workers or None,
+        cache_dir=args.cache_dir,
+    )
+    st = result.stats
+    if args.json:
+        print(json.dumps(st.to_json_dict(), indent=2, sort_keys=True))
+        return 0 if result.ok else 1
+    print(
+        f"{design.name} on {grid.name}: {len(result)}/{st.n_modules} modules "
+        f"implemented, {st.cache_hits} cache hits ({st.hit_rate * 100:.0f}%), "
+        f"{st.new_tool_runs} new tool runs "
+        f"({st.total_tool_runs} total), {st.wall_s:.2f}s"
+    )
+    if args.cache_dir:
+        print(f"  cache: {args.cache_dir}")
+    if not result.ok:
+        print(result.report.describe())
+        return 1
+    return 0
+
+
 def _cmd_stitch(args: argparse.Namespace) -> int:
     from repro.device import make_part
     from repro.flow.design_io import load_design
@@ -221,6 +279,9 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
         )
     if args.render:
         print(s.render())
+    if not res.ok:
+        print(res.infeasible.describe())
+        return 1
     return 0
 
 
@@ -248,6 +309,7 @@ _COMMANDS = {
     "mincf": _cmd_mincf,
     "dataset": _cmd_dataset,
     "train": _cmd_train,
+    "preimpl": _cmd_preimpl,
     "stitch": _cmd_stitch,
     "report": _cmd_report,
 }

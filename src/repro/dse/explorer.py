@@ -3,19 +3,22 @@
 A *variant* is a mapping from module names to replacement
 :class:`~repro.rtlgen.base.RTLModule` objects (e.g. different MVAU
 foldings).  The explorer compiles each variant with the RW-style flow but
-reuses pre-implementations of unchanged modules from a cache, so the cost
-of a DSE step is proportional to what changed — the paper's §I argument,
-operationalized.
+reuses pre-implementations of unchanged modules from a shared
+:class:`~repro.flow.cache.ModuleCache`, so the cost of a DSE step is
+proportional to what changed — the paper's §I argument, operationalized.
+With a ``cache_dir`` the cache persists on disk and a DSE session
+warm-starts from every earlier run against the same directory.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.device.grid import DeviceGrid
 from repro.flow.blockdesign import BlockDesign
-from repro.flow.policy import CFPolicy, FixedCF
+from repro.flow.cache import ModuleCache
+from repro.flow.policy import CFPolicy, FixedCF, FlowInfeasibleError
 from repro.flow.preimpl import ImplementedModule, implement_module
 from repro.flow.stitcher import SAParams, StitchResult, stitch
 from repro.rtlgen.base import RTLModule
@@ -37,7 +40,8 @@ class DSEPoint:
     worst_path_ns:
         Slowest module's longest path (the design's clock limiter).
     n_unplaced:
-        Blocks the stitcher could not place (0 = fully implementable).
+        Blocks the stitcher could not place, plus every instance of a
+        module the policy could not implement (0 = fully implementable).
     implemented_effort:
         Slice demand actually (re)implemented for this variant — the
         incremental cost of the step.
@@ -53,7 +57,13 @@ class DSEPoint:
     cache_hits: int
 
     def dominates(self, other: "DSEPoint") -> bool:
-        """Pareto dominance on (area, worst path), requiring feasibility."""
+        """Pareto dominance on (area, worst path), requiring feasibility.
+
+        An infeasible point never dominates, and dominance over any other
+        point requires a *strict* improvement on at least one metric — a
+        feasible point does not dominate an infeasible one on merely
+        equal metrics.
+        """
         if self.n_unplaced > 0:
             return False
         better_or_equal = (
@@ -64,18 +74,30 @@ class DSEPoint:
             self.area_slices < other.area_slices
             or self.worst_path_ns < other.worst_path_ns
         )
-        return better_or_equal and (strictly or other.n_unplaced > 0)
+        return better_or_equal and strictly
 
 
 def pareto_front(points: Sequence[DSEPoint]) -> list[DSEPoint]:
-    """Non-dominated feasible points, sorted by area."""
+    """Non-dominated feasible points, sorted by area.
+
+    Points landing on identical ``(area_slices, worst_path_ns)`` metrics
+    are deduplicated (the earliest-explored one is kept), so ties do not
+    inflate the front.
+    """
     feasible = [p for p in points if p.n_unplaced == 0]
     front = [
         p
         for p in feasible
         if not any(q is not p and q.dominates(p) for q in feasible)
     ]
-    return sorted(front, key=lambda p: p.area_slices)
+    seen: set[tuple[int, float]] = set()
+    unique: list[DSEPoint] = []
+    for p in front:
+        metrics = (p.area_slices, p.worst_path_ns)
+        if metrics not in seen:
+            seen.add(metrics)
+            unique.append(p)
+    return sorted(unique, key=lambda p: p.area_slices)
 
 
 class DSEExplorer:
@@ -97,6 +119,14 @@ class DSEExplorer:
         Stitcher budget per variant.
     kernel:
         Stitcher move-kernel (``"fast"`` or ``"reference"``).
+    cache:
+        Shared :class:`~repro.flow.cache.ModuleCache`.  Passing the same
+        cache to several explorers (or to :func:`~repro.flow.rwflow.run_rw_flow`)
+        shares pre-implementations between them; the default is a private
+        in-memory cache.
+    cache_dir:
+        Disk-persistent cache root when ``cache`` is not given, so DSE
+        sessions warm-start across process restarts.
     """
 
     def __init__(
@@ -108,6 +138,8 @@ class DSEExplorer:
         stitch_grid: DeviceGrid | None = None,
         sa_params: SAParams | None = None,
         kernel: str = "fast",
+        cache: ModuleCache | None = None,
+        cache_dir: str | None = None,
     ) -> None:
         base.validate()
         self.base = base
@@ -116,21 +148,25 @@ class DSEExplorer:
         self.stitch_grid = stitch_grid or grid
         self.sa_params = sa_params or SAParams(max_iters=8000, seed=0)
         self.kernel = kernel
-        self._cache: dict[tuple, ImplementedModule] = {}
+        self.cache = cache if cache is not None else ModuleCache(cache_dir)
         self.points: list[DSEPoint] = []
 
     # ------------------------------------------------------------------ cache
 
-    @staticmethod
-    def _key(module: RTLModule) -> tuple:
-        return (module.name, module.family, module.params)
-
-    def _implement(self, module: RTLModule) -> tuple[ImplementedModule, bool]:
-        key = self._key(module)
-        hit = key in self._cache
-        if not hit:
-            self._cache[key] = implement_module(module, self.grid, self.policy)
-        return self._cache[key], hit
+    def _implement(
+        self, module: RTLModule
+    ) -> tuple[ImplementedModule | None, bool]:
+        """Implement via the shared cache; ``(None, False)`` if infeasible."""
+        key = self.cache.key(module, self.grid, self.policy)
+        impl = self.cache.get(key)
+        if impl is not None:
+            return impl, True
+        try:
+            impl = implement_module(module, self.grid, self.policy)
+        except FlowInfeasibleError:
+            return None, False
+        self.cache.put(key, impl)
+        return impl, False
 
     # ------------------------------------------------------------------ explore
 
@@ -138,6 +174,11 @@ class DSEExplorer:
         self, label: str, overrides: Mapping[str, RTLModule] | None = None
     ) -> DSEPoint:
         """Compile one variant and record its point.
+
+        A variant with an infeasible module does not raise: its
+        implementable subset is stitched and every instance of the failed
+        module counts as unplaced, so the point lands off the Pareto
+        front instead of aborting the exploration.
 
         Parameters
         ----------
@@ -155,9 +196,13 @@ class DSEExplorer:
         impls: dict[str, ImplementedModule] = {}
         effort = 0
         hits = 0
+        infeasible: list[str] = []
         for name, module in self.base.modules.items():
             chosen = overrides.get(name, module)
             impl, hit = self._implement(chosen)
+            if impl is None:
+                infeasible.append(name)
+                continue
             impls[name] = impl
             if hit:
                 hits += 1
@@ -167,18 +212,29 @@ class DSEExplorer:
         footprints = {
             name: impl.outcome.result.footprint for name, impl in impls.items()
         }
-        stitched: StitchResult = stitch(
-            self.base, footprints, self.stitch_grid, self.sa_params,
-            kernel=self.kernel,
-        )
         counts = self.base.instance_counts()
-        area = sum(impls[m].used_slices * n for m, n in counts.items())
-        worst = max(impl.timing.total_ns for impl in impls.values())
+        stitchable = (
+            self.base if not infeasible else self.base.subset(set(impls))
+        )
+        if stitchable.instances:
+            stitched: StitchResult = stitch(
+                stitchable, footprints, self.stitch_grid, self.sa_params,
+                kernel=self.kernel,
+            )
+            n_unplaced = stitched.n_unplaced
+        else:
+            n_unplaced = 0
+        n_unplaced += sum(counts[m] for m in infeasible)
+
+        area = sum(impls[m].used_slices * counts[m] for m in impls)
+        worst = max(
+            (impl.timing.total_ns for impl in impls.values()), default=0.0
+        )
         point = DSEPoint(
             label=label,
             area_slices=area,
             worst_path_ns=worst,
-            n_unplaced=stitched.n_unplaced,
+            n_unplaced=n_unplaced,
             implemented_effort=effort,
             cache_hits=hits,
         )

@@ -53,6 +53,28 @@ class EstimatedCF(CFPolicy):
         """Fraction of modules implemented on the first tool run."""
         return self.first_run_hits / self.modules_seen if self.modules_seen else 0.0
 
+    def fingerprint(self) -> str:
+        """Cache identity: model kind, features, overhead and weights.
+
+        Hashes the serialized model state (via
+        :func:`repro.ml.persist.model_to_dict`), so two estimators with
+        the same architecture but different trained weights never share
+        cache entries.  The mutable first-run counters are deliberately
+        excluded — they do not affect predictions.
+        """
+        from repro.flow.cache import stable_json_digest
+        from repro.ml.persist import model_to_dict
+
+        if getattr(self.estimator, "_fitted", False):
+            weights = stable_json_digest(model_to_dict(self.estimator.model))
+        else:
+            weights = "unfitted"
+        return (
+            f"EstimatedCF(kind={self.estimator.kind},"
+            f"features={self.estimator.feature_set},"
+            f"overhead={self.overhead!r},weights={weights})"
+        )
+
     def choose(
         self, stats: NetlistStats, report: ShapeReport, grid: DeviceGrid
     ) -> CFOutcome:
@@ -62,6 +84,7 @@ class EstimatedCF(CFPolicy):
 
         self.modules_seen += 1
         n_runs = 1
+        attempted = [cf0]
         pb, res = self._attempt(stats, report, cf0, grid)
         if pb is not None and res.feasible:
             self.first_run_hits += 1
@@ -74,6 +97,7 @@ class EstimatedCF(CFPolicy):
         cf = round(cf0 + _COARSE, 10)
         while cf <= _MAX_CF + 1e-9:
             n_runs += 1
+            attempted.append(cf)
             pb, res = self._attempt(stats, report, cf, grid)
             if pb is not None and res.feasible:
                 break
@@ -82,7 +106,9 @@ class EstimatedCF(CFPolicy):
         else:
             raise FlowInfeasibleError(
                 f"{stats.name}: no feasible CF up to {_MAX_CF} "
-                f"(predicted {cf0:.2f})"
+                f"(predicted {cf0:.2f})",
+                attempted_cfs=tuple(attempted),
+                n_runs=n_runs,
             )
 
         # Fine search of the last interval (prev, cf] at 0.02 resolution.

@@ -26,6 +26,14 @@
 from repro.flow.bitgen import Bitstream, generate_bitstream
 from repro.flow.analysis_graph import DesignGraphStats, analyze_design
 from repro.flow.blockdesign import BlockDesign, Edge, Instance
+from repro.flow.cache import (
+    CacheStats,
+    ModuleCache,
+    cache_key,
+    grid_fingerprint,
+    module_fingerprint,
+    policy_fingerprint,
+)
 from repro.flow.design_io import load_design, save_design
 from repro.flow.monolithic import MonolithicResult, monolithic_flow
 from repro.flow.policy import (
@@ -36,7 +44,16 @@ from repro.flow.policy import (
     MinimalCFPolicy,
     SweepCF,
 )
-from repro.flow.preimpl import ImplementedModule, implement_design, implement_module
+from repro.flow.preimpl import (
+    FlowInfeasibleReport,
+    FlowStats,
+    ImplementedModule,
+    ModuleFailure,
+    ModuleFlowStats,
+    PreImplResult,
+    implement_design,
+    implement_module,
+)
 from repro.flow.prflow import (
     PRPlan,
     Partition,
@@ -58,6 +75,7 @@ from repro.flow.stitcher import (
 __all__ = [
     "Bitstream",
     "BlockDesign",
+    "CacheStats",
     "DesignGraphStats",
     "CFOutcome",
     "CFPolicy",
@@ -65,13 +83,19 @@ __all__ = [
     "FixedCF",
     "FlowComparison",
     "FlowInfeasibleError",
+    "FlowInfeasibleReport",
+    "FlowStats",
     "ImplementedModule",
     "Instance",
     "KERNELS",
     "MinimalCFPolicy",
+    "ModuleCache",
+    "ModuleFailure",
+    "ModuleFlowStats",
     "MonolithicResult",
     "PRPlan",
     "Partition",
+    "PreImplResult",
     "RWFlowResult",
     "SAParams",
     "StitchResult",
@@ -79,13 +103,17 @@ __all__ = [
     "SweepCF",
     "analyze_design",
     "apply_update",
+    "cache_key",
     "compare_flows",
     "generate_bitstream",
+    "grid_fingerprint",
     "implement_design",
     "implement_module",
     "load_design",
+    "module_fingerprint",
     "monolithic_flow",
     "plan_partitions",
+    "policy_fingerprint",
     "refloorplan",
     "run_rw_flow",
     "save_design",

@@ -107,6 +107,27 @@ class BlockDesign:
         """All instances of one module."""
         return [i for i in self.instances if i.module == module]
 
+    def subset(self, modules: "set[str] | frozenset[str]") -> "BlockDesign":
+        """The sub-design restricted to the given modules.
+
+        Keeps every instance of a kept module and every edge whose two
+        endpoints survive.  Used by the flows to stitch the placeable
+        subset of a design when some modules were infeasible to
+        pre-implement.
+        """
+        keep = set(modules)
+        unknown = keep - set(self.modules)
+        if unknown:
+            raise KeyError(f"subset of unknown modules: {sorted(unknown)}")
+        instances = [i for i in self.instances if i.module in keep]
+        names = {i.name for i in instances}
+        return BlockDesign(
+            name=self.name,
+            modules={m: mod for m, mod in self.modules.items() if m in keep},
+            instances=instances,
+            edges=[e for e in self.edges if e.src in names and e.dst in names],
+        )
+
     def validate(self) -> None:
         """Check referential integrity; raises on inconsistency."""
         names = {i.name for i in self.instances}

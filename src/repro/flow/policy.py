@@ -16,7 +16,7 @@ from repro.device.grid import DeviceGrid
 from repro.netlist.stats import NetlistStats
 from repro.place.packer import PackResult, pack
 from repro.place.quick import ShapeReport
-from repro.pblock.cf_search import InfeasibleModuleError, minimal_cf
+from repro.pblock.cf_search import DEFAULT_START, InfeasibleModuleError, minimal_cf
 from repro.pblock.generator import PBlockGenerationError, build_pblock
 from repro.pblock.pblock import PBlock
 from repro.utils.validation import check_positive
@@ -32,7 +32,38 @@ __all__ = [
 
 
 class FlowInfeasibleError(RuntimeError):
-    """A module could not be implemented under the policy."""
+    """A module could not be implemented under the policy.
+
+    Attributes
+    ----------
+    attempted_cfs:
+        Every CF the policy tried before giving up (diagnostic payload
+        for :class:`~repro.flow.preimpl.FlowInfeasibleReport`).
+    n_runs:
+        Tool runs spent on the failed attempts; defaults to
+        ``len(attempted_cfs)``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        attempted_cfs: tuple[float, ...] = (),
+        n_runs: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.attempted_cfs = tuple(attempted_cfs)
+        self.n_runs = len(self.attempted_cfs) if n_runs is None else n_runs
+
+
+def _swept_cfs(start: float, step: float, max_cf: float) -> tuple[float, ...]:
+    """The CF ladder an upward sweep visits (for failure diagnostics)."""
+    cfs: list[float] = []
+    cf = start
+    while cf <= max_cf + 1e-9:
+        cfs.append(round(cf, 10))
+        cf = round(cf + step, 10)
+    return tuple(cfs)
 
 
 @dataclass(frozen=True)
@@ -67,6 +98,28 @@ class CFPolicy(abc.ABC):
     ) -> CFOutcome:
         """Implement the module; raises :class:`FlowInfeasibleError` on failure."""
 
+    def fingerprint(self) -> str:
+        """Stable identity of the policy and its parameters.
+
+        The pre-implementation cache keys entries on this string, so two
+        policies with the same fingerprint must produce identical
+        :class:`CFOutcome` objects for any module.  The default renders
+        the class name plus all dataclass init fields; policies with
+        trained state (see :class:`~repro.estimator.strategy.EstimatedCF`)
+        override it to hash their weights.
+        """
+        import dataclasses
+
+        name = type(self).__qualname__
+        if dataclasses.is_dataclass(self):
+            parts = ",".join(
+                f"{f.name}={getattr(self, f.name)!r}"
+                for f in dataclasses.fields(self)
+                if f.init
+            )
+            return f"{name}({parts})"
+        return name
+
     @staticmethod
     def _attempt(
         stats: NetlistStats, report: ShapeReport, cf: float, grid: DeviceGrid
@@ -93,7 +146,8 @@ class FixedCF(CFPolicy):
         pb, res = self._attempt(stats, report, self.cf, grid)
         if pb is None or not res.feasible:
             raise FlowInfeasibleError(
-                f"{stats.name}: infeasible at constant cf={self.cf} ({res.reason})"
+                f"{stats.name}: infeasible at constant cf={self.cf} ({res.reason})",
+                attempted_cfs=(self.cf,),
             )
         return CFOutcome(
             cf=self.cf, n_runs=1, pblock=pb, result=res, predicted_cf=self.cf
@@ -125,7 +179,10 @@ class SweepCF(CFPolicy):
                 report=report,
             )
         except InfeasibleModuleError as exc:
-            raise FlowInfeasibleError(str(exc)) from exc
+            raise FlowInfeasibleError(
+                str(exc),
+                attempted_cfs=_swept_cfs(self.start, self.step, self.max_cf),
+            ) from exc
         return CFOutcome(
             cf=found.cf,
             n_runs=found.n_runs,
@@ -159,7 +216,10 @@ class MinimalCFPolicy(CFPolicy):
                 report=report,
             )
         except InfeasibleModuleError as exc:
-            raise FlowInfeasibleError(str(exc)) from exc
+            raise FlowInfeasibleError(
+                str(exc),
+                attempted_cfs=_swept_cfs(DEFAULT_START, self.step, self.max_cf),
+            ) from exc
         return CFOutcome(
             cf=found.cf,
             n_runs=found.n_runs,

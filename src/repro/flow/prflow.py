@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.device.grid import DeviceGrid
 from repro.flow.blockdesign import BlockDesign
+from repro.flow.cache import ModuleCache
 from repro.flow.policy import CFPolicy
 from repro.flow.rwflow import RWFlowResult, run_rw_flow
 from repro.flow.stitcher import SAParams
@@ -151,6 +152,9 @@ def refloorplan(
     kernel: str = "fast",
     n_seeds: int = 1,
     n_workers: int | None = None,
+    preimpl_workers: int | None = None,
+    cache: "ModuleCache | None" = None,
+    cache_dir: str | None = None,
 ) -> RWFlowResult:
     """Full re-floorplan after an unfeasible update (the PR failure path).
 
@@ -159,7 +163,9 @@ def refloorplan(
     updated design — exactly the cost the paper's RW-style flow avoids.
     This delegates to :func:`~repro.flow.rwflow.run_rw_flow`, exposing
     the stitcher kernel and multi-seed restart knobs so the expensive
-    recovery can at least use the best placement of several seeds.
+    recovery can at least use the best placement of several seeds, and
+    the pre-implementation cache/worker knobs so the recompile reuses
+    every module the update did not touch.
     """
     return run_rw_flow(
         design,
@@ -169,4 +175,7 @@ def refloorplan(
         kernel=kernel,
         n_seeds=n_seeds,
         n_workers=n_workers,
+        preimpl_workers=preimpl_workers,
+        cache=cache,
+        cache_dir=cache_dir,
     )

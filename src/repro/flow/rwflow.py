@@ -3,17 +3,29 @@
 ``run_rw_flow`` = pre-implement all unique modules under a CF policy, then
 stitch every instance onto the device.  The result bundles everything the
 paper's evaluation reads off: tool runs, per-module CFs, placement counts,
-SA convergence and cost.
+SA convergence and cost, plus the :class:`~repro.flow.preimpl.FlowStats`
+observability of the pre-implementation pass.
+
+Infeasible modules degrade gracefully: the flow stitches the placeable
+subset of the design, reports every instance of a failed module as
+unplaced, and attaches the
+:class:`~repro.flow.preimpl.FlowInfeasibleReport` instead of raising.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 from repro.device.grid import DeviceGrid
 from repro.flow.blockdesign import BlockDesign
+from repro.flow.cache import ModuleCache
 from repro.flow.policy import CFPolicy
-from repro.flow.preimpl import ImplementedModule, implement_design
+from repro.flow.preimpl import (
+    FlowInfeasibleReport,
+    FlowStats,
+    ImplementedModule,
+    implement_design,
+)
 from repro.flow.restarts import stitch_best
 from repro.flow.stitcher import SAParams, StitchResult, stitch
 
@@ -27,17 +39,33 @@ class RWFlowResult:
     Attributes
     ----------
     implemented:
-        Pre-implementation cache (per unique module).
+        Pre-implementation cache (per unique module; infeasible modules
+        are absent — see ``infeasible``).
     stitch:
-        Stitched full-device placement.
+        Stitched full-device placement.  Instances of infeasible modules
+        appear with ``None`` placements and count toward ``n_unplaced``.
     total_tool_runs:
         Place-and-route attempts across all modules (the §VIII run-time
         proxy; stitching is one additional run, not counted here).
+        Includes the attempts spent on infeasible modules.
+    flow_stats:
+        Pre-implementation observability (cache hits, new tool runs, per
+        module wall time and prediction error).
+    infeasible:
+        Report of modules no CF could implement (empty when the whole
+        design implemented).
     """
 
     implemented: dict[str, ImplementedModule]
     stitch: StitchResult
     total_tool_runs: int
+    flow_stats: FlowStats = field(default_factory=FlowStats)
+    infeasible: FlowInfeasibleReport = field(default_factory=FlowInfeasibleReport)
+
+    @property
+    def ok(self) -> bool:
+        """True when every unique module implemented."""
+        return not self.infeasible
 
     @property
     def mean_cf(self) -> float:
@@ -61,6 +89,9 @@ def run_rw_flow(
     kernel: str = "fast",
     n_seeds: int = 1,
     n_workers: int | None = None,
+    preimpl_workers: int | None = None,
+    cache: ModuleCache | None = None,
+    cache_dir: str | None = None,
 ) -> RWFlowResult:
     """Compile ``design`` with pre-implemented blocks.
 
@@ -85,20 +116,67 @@ def run_rw_flow(
         :func:`~repro.flow.restarts.stitch_best` and keep the best run.
     n_workers:
         Worker processes for the restarts (``None``/1 = serial).
+    preimpl_workers:
+        Worker processes for the per-module pre-implementation fan-out
+        (``None``/1 = serial; results are worker-count independent).
+    cache:
+        Shared :class:`~repro.flow.cache.ModuleCache`; a warm cache skips
+        tool runs for unchanged modules.
+    cache_dir:
+        Disk-persistent cache root when ``cache`` is not given.
     """
-    implemented = implement_design(design, grid, policy)
+    pre = implement_design(
+        design,
+        grid,
+        policy,
+        n_workers=preimpl_workers,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
     footprints = {
         name: impl.outcome.result.footprint
-        for name, impl in implemented.items()
+        for name, impl in pre.items()
         if impl.outcome.result.footprint is not None
     }
     target = stitch_grid or grid
-    if n_seeds > 1:
-        result = stitch_best(
-            design, footprints, target, sa_params,
-            n_seeds=n_seeds, n_workers=n_workers, kernel=kernel,
+
+    missing = [i for i in design.instances if i.module not in footprints]
+    stitchable = design if not missing else design.subset(set(footprints))
+    if stitchable.instances:
+        if n_seeds > 1:
+            result = stitch_best(
+                stitchable, footprints, target, sa_params,
+                n_seeds=n_seeds, n_workers=n_workers, kernel=kernel,
+            )
+        else:
+            result = stitch(
+                stitchable, footprints, target, sa_params, kernel=kernel
+            )
+    else:  # nothing placeable: synthesize an empty stitching outcome
+        result = StitchResult(
+            placements={},
+            n_placed=0,
+            n_unplaced=0,
+            wirelength=0.0,
+            final_cost=0.0,
+            iterations=0,
+            converged_at=0,
+            illegal_moves=0,
         )
-    else:
-        result = stitch(design, footprints, target, sa_params, kernel=kernel)
-    runs = sum(m.outcome.n_runs for m in implemented.values())
-    return RWFlowResult(implemented=implemented, stitch=result, total_tool_runs=runs)
+    if missing:
+        placements = dict(result.placements)
+        placements.update({i.name: None for i in missing})
+        result = replace(
+            result,
+            placements=placements,
+            n_unplaced=result.n_unplaced + len(missing),
+        )
+
+    runs = pre.stats.total_tool_runs
+    return RWFlowResult(
+        implemented=dict(pre.modules),
+        stitch=result,
+        total_tool_runs=runs,
+        flow_stats=pre.stats,
+        infeasible=pre.report,
+    )

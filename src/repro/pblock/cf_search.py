@@ -61,10 +61,12 @@ class CFSearchResult:
 def recommended_step(n_luts: int) -> float:
     """Search-step resolution rule of paper §VI-C.
 
-    Modules under ~100 LUTs need no finer than 0.1 (the PBlock shape
-    cannot change for smaller increments); ~2,500-LUT modules need 0.03 or
-    finer.  The paper picks 0.02 for its dataset; this helper exposes the
-    rule for the resolution ablation.
+    Modules under 100 LUTs need no finer than 0.1 (the PBlock shape
+    cannot change for smaller increments); mid-size modules (100-999
+    LUTs) resolve at 0.05; from 1,000 LUTs up the rule returns the
+    paper's full 0.02 dataset resolution, which satisfies §VI-C's
+    requirement that ~2,500-LUT modules be swept at 0.03 or finer.  This
+    helper exposes the rule for the resolution ablation.
     """
     if n_luts < 100:
         return 0.1

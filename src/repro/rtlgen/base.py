@@ -42,6 +42,21 @@ class RTLModule:
     params: tuple[tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
+        # Normalize params into the canonical hashable form regardless of
+        # how the module was constructed: ``RTLModule.make`` already sorts
+        # a mapping into tuples, but direct construction with a dict (or a
+        # list of pairs) used to smuggle an unhashable value into cache
+        # keys and crash DSE lookups with ``TypeError: unhashable type``.
+        if isinstance(self.params, Mapping):
+            object.__setattr__(
+                self, "params", tuple(sorted(self.params.items()))
+            )
+        elif not isinstance(self.params, tuple):
+            object.__setattr__(
+                self, "params", tuple(tuple(p) for p in self.params)
+            )
+        if not isinstance(self.constructs, tuple):
+            object.__setattr__(self, "constructs", tuple(self.constructs))
         if not self.constructs:
             raise ValueError(f"module {self.name!r} has no constructs")
 

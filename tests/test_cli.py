@@ -91,6 +91,62 @@ class TestExportDesign:
         assert d.n_instances == 175
 
 
+class TestPreimplCommand:
+    @pytest.fixture()
+    def design_json(self, tmp_path):
+        from repro.flow.blockdesign import BlockDesign
+        from repro.flow.design_io import save_design
+        from repro.rtlgen.base import RTLModule
+        from repro.rtlgen.constructs import RandomLogicCloud
+
+        d = BlockDesign(name="cli-preimpl")
+        d.add_module(RTLModule.make("m", [RandomLogicCloud(n_luts=120)]))
+        d.add_module(RTLModule.make("n", [RandomLogicCloud(n_luts=80)]))
+        d.add_instance("m0", "m")
+        d.add_instance("n0", "n")
+        d.connect("m0", "n0")
+        path = tmp_path / "design.json"
+        save_design(d, path)
+        return str(path)
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["preimpl", "d.json"])
+        assert args.policy == "fixed"
+        assert args.cf == 1.5
+        assert args.workers == 0
+        assert args.cache_dir is None
+
+    def test_cold_then_warm(self, design_json, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["preimpl", design_json, "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 modules implemented" in out
+        assert "2 new tool runs" in out
+
+        assert main(["preimpl", design_json, "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "2 cache hits (100%)" in out
+        assert "0 new tool runs" in out
+
+    def test_json_output(self, design_json, capsys):
+        import json
+
+        assert main(["preimpl", design_json, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["n_modules"] == 2
+        assert stats["n_infeasible"] == 0
+        assert {m["module"] for m in stats["modules"]} == {"m", "n"}
+
+    def test_infeasible_exits_nonzero(self, design_json, capsys):
+        assert main(["preimpl", design_json, "--cf", "0.35"]) == 1
+        out = capsys.readouterr().out
+        assert "infeasible" in out
+
+    def test_sweep_policy(self, design_json, capsys):
+        assert main(["preimpl", design_json, "--policy", "sweep"]) == 0
+        assert "2/2 modules implemented" in capsys.readouterr().out
+
+
 class TestStitchCommand:
     @pytest.fixture()
     def design_json(self, tmp_path):

@@ -64,6 +64,19 @@ class TestEvaluate:
         with pytest.raises(KeyError):
             explorer.evaluate("bad", {"ghost": _module("ghost", 10)})
 
+    def test_dict_params_override(self, explorer):
+        # Regression: a directly-constructed module with dict params used
+        # to crash the cache lookup with ``TypeError: unhashable type``.
+        raw = RTLModule(
+            "pe", (RandomLogicCloud(n_luts=240),), params={"n": 240}
+        )
+        base = explorer.evaluate("base")
+        p = explorer.evaluate("raw-pe", {"pe": raw})
+        # Same content, same cache entries: the variant is free.
+        assert p.cache_hits == 2
+        assert p.implemented_effort == 0
+        assert p.area_slices == base.area_slices
+
     def test_render(self, explorer):
         explorer.evaluate("base")
         out = explorer.render()
@@ -104,3 +117,27 @@ class TestPareto:
         broken = self._pt("broken", 50, 3.0, unplaced=1)
         good = self._pt("good", 100, 5.0)
         assert not broken.dominates(good)
+
+    def test_equal_metrics_do_not_dominate(self):
+        # Dominance requires a strict improvement on at least one metric;
+        # in particular a feasible point must not dominate an infeasible
+        # twin on merely-equal numbers.
+        a = self._pt("a", 100, 5.0)
+        twin = self._pt("twin", 100, 5.0)
+        broken_twin = self._pt("broken", 100, 5.0, unplaced=2)
+        assert not a.dominates(twin)
+        assert not twin.dominates(a)
+        assert not a.dominates(broken_twin)
+
+    def test_front_dedupes_identical_metrics(self):
+        first = self._pt("first", 100, 5.0)
+        dup = self._pt("dup", 100, 5.0)
+        other = self._pt("other", 200, 4.0)
+        front = pareto_front([first, dup, other])
+        # Earliest-explored duplicate kept, tie does not inflate the front.
+        assert [p.label for p in front] == ["first", "other"]
+
+    def test_front_dedupe_keeps_earliest(self):
+        a = self._pt("a", 100, 5.0)
+        b = self._pt("b", 100, 5.0)
+        assert [p.label for p in pareto_front([b, a])] == ["b"]

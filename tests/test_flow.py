@@ -95,6 +95,66 @@ class TestPolicies:
         minimal = MinimalCFPolicy().choose(stats, rep, z020)
         assert minimal.cf <= sweep.cf + 1e-9
 
+    def test_fixed_attempted_cfs_on_failure(self, z020):
+        stats, rep = self._sr()
+        with pytest.raises(FlowInfeasibleError) as exc:
+            FixedCF(0.35).choose(stats, rep, z020)
+        assert exc.value.attempted_cfs == (0.35,)
+        assert exc.value.n_runs == 1
+
+    def test_sweep_infeasible_reports_full_ladder(self, z020):
+        # A 600-LUT module cannot fit anywhere in [0.35, 0.41]; the error
+        # must carry every CF of the ladder and one run per rung.
+        stats, rep = self._sr()
+        with pytest.raises(FlowInfeasibleError) as exc:
+            SweepCF(start=0.35, step=0.02, max_cf=0.41).choose(
+                stats, rep, z020
+            )
+        assert exc.value.attempted_cfs == (0.35, 0.37, 0.39, 0.41)
+        assert exc.value.n_runs == 4
+
+    def test_minimal_search_down_accounting(self, z020):
+        # A small module is feasible at the 0.9 start, so MinimalCFPolicy
+        # walks down; every downward probe is a tool run, including the
+        # first failing one that terminates the walk.
+        stats = compute_stats(synthesize(_module("downmod", 80, 3.2)))
+        rep = quick_place(stats)
+        out = MinimalCFPolicy().choose(stats, rep, z020)
+        up_runs = round((0.9 - 0.9) / 0.02) + 1  # start feasible: 1 run up
+        down_steps = round((0.9 - out.cf) / 0.02)
+        assert out.cf <= 0.9 + 1e-9
+        # 1 upward run + every feasible downward step + the failing probe
+        # (absent only if the walk ran into the 0.3 search floor).
+        expected = up_runs + down_steps + (1 if out.cf > 0.3 + 1e-9 else 0)
+        assert out.n_runs == expected
+        # The oracle reports its own result as the prediction.
+        assert out.predicted_cf == out.cf
+
+    def test_minimal_matches_sweep_when_start_infeasible(self, z020):
+        # A module infeasible at 0.9 never searches down: run counts of
+        # MinimalCFPolicy and SweepCF(start=0.9) must agree exactly.
+        stats, rep = self._sr("upmod", avg=5.2)
+        minimal = MinimalCFPolicy().choose(stats, rep, z020)
+        sweep = SweepCF(start=0.9).choose(stats, rep, z020)
+        if minimal.cf > 0.9 + 1e-9:
+            assert minimal.n_runs == sweep.n_runs
+            assert minimal.cf == sweep.cf
+
+    def test_infeasible_error_default_run_count(self):
+        err = FlowInfeasibleError("nope", attempted_cfs=(0.9, 0.92))
+        assert err.n_runs == 2
+        err2 = FlowInfeasibleError("nope", attempted_cfs=(0.9,), n_runs=5)
+        assert err2.n_runs == 5
+        assert FlowInfeasibleError("bare").attempted_cfs == ()
+
+    def test_policy_fingerprints_distinguish_parameters(self):
+        assert FixedCF(1.5).fingerprint() != FixedCF(1.8).fingerprint()
+        assert SweepCF().fingerprint() != MinimalCFPolicy().fingerprint()
+        assert (
+            MinimalCFPolicy(step=0.02).fingerprint()
+            != MinimalCFPolicy(step=0.1).fingerprint()
+        )
+
 
 class TestPreImplementation:
     def test_implement_module(self, z020):

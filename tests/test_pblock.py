@@ -157,3 +157,14 @@ class TestRecommendedStep:
 
     def test_monotone(self):
         assert recommended_step(50) >= recommended_step(500) >= recommended_step(5000)
+
+    def test_boundaries(self):
+        # The documented bands are [0, 100), [100, 1000), [1000, inf).
+        assert recommended_step(99) == 0.1
+        assert recommended_step(100) == 0.05
+        assert recommended_step(999) == 0.05
+        assert recommended_step(1000) == 0.02
+
+    def test_fine_enough_for_2500_lut_modules(self):
+        # §VI-C: ~2,500-LUT modules must be swept at 0.03 or finer.
+        assert recommended_step(2500) <= 0.03

@@ -47,6 +47,31 @@ class TestRTLModule:
         )
         assert m.params == (("a", 1), ("b", 2))
 
+    def test_direct_dict_params_normalized(self):
+        # Regression: direct construction with a dict used to leave an
+        # unhashable value in params and crash cache-key hashing.
+        m = RTLModule("m", (SumOfSquares(4, 1),), params={"b": 2, "a": 1})
+        assert m.params == (("a", 1), ("b", 2))
+        hash(m)  # must be hashable
+
+    def test_direct_pair_list_params_normalized(self):
+        m = RTLModule("m", (SumOfSquares(4, 1),), params=[["a", 1]])
+        assert m.params == (("a", 1),)
+        hash(m)
+
+    def test_direct_construct_list_normalized(self):
+        m = RTLModule("m", [SumOfSquares(4, 1)])
+        assert isinstance(m.constructs, tuple)
+        hash(m)
+
+    def test_equivalent_constructions_equal(self):
+        via_make = RTLModule.make(
+            "m", [SumOfSquares(4, 1)], params={"a": 1}
+        )
+        direct = RTLModule("m", [SumOfSquares(4, 1)], params={"a": 1})
+        assert via_make == direct
+        assert hash(via_make) == hash(direct)
+
 
 class TestGenerators:
     @pytest.mark.parametrize(
