@@ -11,6 +11,11 @@ Environment knobs:
   ~2,000 — set 2000 for the full reproduction).
 * ``REPRO_BENCH_RF_TREES`` — random-forest size (default 120; paper 1,000).
 * ``REPRO_BENCH_SA_ITERS`` — stitcher SA budget (default 30,000).
+* ``REPRO_BENCH_WORKERS`` — worker processes for the labeling sweep
+  (default 0 = sequential; results are identical either way).
+* ``REPRO_BENCH_CACHE_DIR`` — persistent dataset cache directory; a
+  second benchmark session warm-starts the sweep from disk instead of
+  regenerating it.
 """
 
 from __future__ import annotations
@@ -20,18 +25,34 @@ import os
 import pytest
 
 from repro.analysis.context import ExperimentContext
+from repro.features.registry import ModuleRecord
 from repro.flow.stitcher import SAParams
 
 N_MODULES = int(os.environ.get("REPRO_BENCH_MODULES", "800"))
 RF_TREES = int(os.environ.get("REPRO_BENCH_RF_TREES", "120"))
 SA_ITERS = int(os.environ.get("REPRO_BENCH_SA_ITERS", "30000"))
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
 
 
 @pytest.fixture(scope="session")
 def ctx() -> ExperimentContext:
     return ExperimentContext(
-        seed=0, n_modules=N_MODULES, cap_per_bin=75, rf_trees=RF_TREES
+        seed=0,
+        n_modules=N_MODULES,
+        cap_per_bin=75,
+        rf_trees=RF_TREES,
+        dataset_workers=WORKERS,
+        dataset_cache_dir=CACHE_DIR,
     )
+
+
+@pytest.fixture(scope="session")
+def dataset_records(ctx: ExperimentContext) -> list[ModuleRecord]:
+    """The shared labeled sweep: generated (or cache-loaded) exactly once
+    per session; every dataset-using benchmark draws from this."""
+    records, _report = ctx.dataset()
+    return records
 
 
 @pytest.fixture(scope="session")

@@ -35,12 +35,20 @@ class ExperimentContext:
         Random-forest size for trained estimators (paper: 1,000; 200
         gives indistinguishable errors at 1/5 the cost — see the
         ``rf_size`` ablation bench).
+    dataset_workers:
+        Worker processes for the labeling sweep (0 = sequential;
+        results are identical either way).
+    dataset_cache_dir:
+        Optional persistent :class:`~repro.dataset.cache.DatasetCache`
+        directory; a second session warm-starts the sweep from disk.
     """
 
     seed: int = 0
     n_modules: int = 2000
     cap_per_bin: int = 75
     rf_trees: int = 200
+    dataset_workers: int = 0
+    dataset_cache_dir: str | None = None
     _cache: dict = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------- devices
@@ -71,7 +79,13 @@ class ExperimentContext:
         """Raw labeled dataset (before balancing)."""
         return self._memo(
             "dataset",
-            lambda: generate_dataset(self.n_modules, seed=self.seed, grid=self.z020),
+            lambda: generate_dataset(
+                self.n_modules,
+                seed=self.seed,
+                grid=self.z020,
+                workers=self.dataset_workers or None,
+                cache_dir=self.dataset_cache_dir,
+            ),
         )
 
     def balanced(self) -> list[ModuleRecord]:

@@ -5,7 +5,7 @@ Usage::
     python -m repro device [part]              # fabric summary
     python -m repro cnv                        # cnvW1A1 design summary
     python -m repro mincf <family> [opts]      # minimal CF of one module
-    python -m repro dataset -n 500 -o ds.npz   # generate + save a dataset
+    python -m repro dataset -n 500 -o ds.npz --workers 4 --cache-dir .dscache
     python -m repro train -d ds.npz -o est.json  # train a CF estimator
     python -m repro preimpl design.json --cache-dir .cache --workers 4  # warm the cache
     python -m repro stitch design.json --cf 1.5 --restarts 4  # place a design
@@ -50,10 +50,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_min.add_argument("--seed", type=int, default=0)
     p_min.add_argument("--part", default="xc7z020")
 
-    p_ds = sub.add_parser("dataset", help="generate and save a labeled dataset")
+    p_ds = sub.add_parser(
+        "dataset",
+        help="generate and save a labeled dataset (cached, parallel)",
+    )
     p_ds.add_argument("-n", "--n-modules", type=int, default=500)
     p_ds.add_argument("--seed", type=int, default=0)
     p_ds.add_argument("--cap", type=int, default=75, help="balance cap per CF bin")
+    p_ds.add_argument("--step", type=float, default=0.02,
+                      help="CF sweep resolution (paper: 0.02)")
+    p_ds.add_argument("--adaptive-step", action="store_true",
+                      help="per-module sweep resolution (§VI-C rule)")
+    p_ds.add_argument("--workers", type=int, default=0,
+                      help="worker processes for the labeling sweep (0 = serial)")
+    p_ds.add_argument("--cache-dir", default=None,
+                      help="persistent dataset cache directory")
+    p_ds.add_argument("--report-out", default=None,
+                      help="write the GenerationReport JSON here")
+    p_ds.add_argument("--json", action="store_true",
+                      help="emit the GenerationReport as JSON on stdout")
     p_ds.add_argument("-o", "--output", default="cf_dataset.npz")
 
     p_tr = sub.add_parser("train", help="train a CF estimator on a saved dataset")
@@ -163,16 +178,39 @@ def _cmd_mincf(args: argparse.Namespace) -> int:
 
 
 def _cmd_dataset(args: argparse.Namespace) -> int:
-    from repro.dataset import balance_dataset, generate_dataset, save_dataset_arrays
+    import json
 
-    records, report = generate_dataset(args.n_modules, seed=args.seed)
+    from repro.dataset import (
+        balance_dataset,
+        generate_dataset,
+        save_dataset_arrays,
+        save_generation_report,
+    )
+
+    records, report = generate_dataset(
+        args.n_modules,
+        seed=args.seed,
+        step=args.step,
+        adaptive_step=args.adaptive_step,
+        workers=args.workers or None,
+        cache_dir=args.cache_dir,
+    )
     balanced = balance_dataset(records, cap_per_bin=args.cap, seed=args.seed)
     save_dataset_arrays(balanced, args.output)
+    if args.report_out:
+        save_generation_report(report, args.report_out)
+    if args.json:
+        print(json.dumps(report.to_json_dict(), indent=2, sort_keys=True))
+        return 0
+    source = "cache" if report.cache_hit else f"{report.n_workers} worker(s)"
     print(
         f"{report.n_labeled} labeled ({report.n_trivial} trivial, "
-        f"{report.n_infeasible} infeasible) -> {len(balanced)} balanced "
-        f"-> {args.output}"
+        f"{report.n_infeasible} infeasible, {report.n_runs} tool runs) "
+        f"-> {len(balanced)} balanced -> {args.output} "
+        f"[{source}, {report.wall_s:.2f}s]"
     )
+    if args.cache_dir:
+        print(f"  cache: {args.cache_dir}")
     return 0
 
 

@@ -4,6 +4,12 @@ The raw minimal-CF distribution is uneven (some generator sweeps emit many
 more instances of a region of the design space than others).  To keep the
 training process from over-focusing, the paper caps each CF value at 75
 samples after shuffling, shrinking the set from ~2,000 to ~1,500.
+
+Binning respects each record's own sweep resolution: a dataset generated
+at a non-default (or adaptive, §VI-C) resolution carries the actual step
+in :attr:`~repro.features.registry.ModuleRecord.sweep_step`, and the
+default ``step=None`` quantizes every label on the grid it was swept on
+instead of the hardcoded 0.02.
 """
 
 from __future__ import annotations
@@ -23,33 +29,50 @@ def _cf_bin(cf: float, step: float = 0.02) -> int:
     return int(round(cf / step))
 
 
+def _record_bin(rec: ModuleRecord, step: float | None) -> tuple[float, int]:
+    """``(step, bin)`` of one record; ``step=None`` uses the record's own."""
+    s = step if step is not None else rec.sweep_step
+    return s, _cf_bin(rec.min_cf, s)
+
+
 def balance_dataset(
     records: Sequence[ModuleRecord],
     cap_per_bin: int = 75,
     seed: int = 0,
-    step: float = 0.02,
+    step: float | None = None,
 ) -> list[ModuleRecord]:
     """Cap each CF bin at ``cap_per_bin`` samples after shuffling.
 
     Order of the result is shuffled but deterministic in ``seed``.
+    ``step=None`` (the default) bins each record on its own
+    ``sweep_step``; pass an explicit step to force a uniform grid.
     """
     check_positive(cap_per_bin, "cap_per_bin")
     rng = stream(seed, "balance", cap_per_bin)
     order = list(records)
     rng.shuffle(order)
     kept: list[ModuleRecord] = []
-    counts: dict[int, int] = defaultdict(int)
+    counts: dict[tuple[float, int], int] = defaultdict(int)
     for rec in order:
-        b = _cf_bin(rec.min_cf, step)
-        if counts[b] < cap_per_bin:
-            counts[b] += 1
+        key = _record_bin(rec, step)
+        if counts[key] < cap_per_bin:
+            counts[key] += 1
             kept.append(rec)
     return kept
 
 
 def cf_histogram(
-    records: Sequence[ModuleRecord], step: float = 0.02
+    records: Sequence[ModuleRecord], step: float | None = None
 ) -> dict[float, int]:
-    """CF-value histogram (Fig. 4 / Fig. 8 series), keyed by CF."""
-    counter = Counter(_cf_bin(r.min_cf, step) for r in records)
-    return {round(b * step, 10): n for b, n in sorted(counter.items())}
+    """CF-value histogram (Fig. 4 / Fig. 8 series), keyed by CF.
+
+    ``step=None`` bins each record on its own ``sweep_step`` (records
+    swept at different resolutions land on their own grids), so labels
+    are never mis-binned by the hardcoded paper default.
+    """
+    counter = Counter(_record_bin(r, step) for r in records)
+    out: dict[float, int] = {}
+    for (s, b), n in counter.items():
+        cf = round(b * s, 10)
+        out[cf] = out.get(cf, 0) + n
+    return dict(sorted(out.items()))

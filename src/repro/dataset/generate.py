@@ -1,15 +1,36 @@
-"""Dataset generation: RTL sweep -> synthesized modules -> minimal-CF labels."""
+"""Dataset generation: RTL sweep -> synthesized modules -> minimal-CF labels.
+
+Labeling one module — synthesize, opt, quick-place, multi-run minimal-CF
+search — is a pure function of the module's content and the sweep
+parameters, so the ~2,000-module sweep fans out over a process pool in
+deterministic chunks: results are assembled in sweep order and are
+bitwise identical for any worker count (the same discipline as
+:func:`~repro.flow.preimpl.implement_design`).  A
+:class:`~repro.dataset.cache.DatasetCache` in front makes one generation
+durable across runs and sessions; a warm hit does zero synthesis and
+zero CF-search tool runs.
+"""
 
 from __future__ import annotations
 
+import dataclasses
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.dataset.cache import DatasetCache, dataset_key
 from repro.device.grid import DeviceGrid
 from repro.device.parts import xc7z020
 from repro.features.registry import ModuleRecord, make_record
 from repro.netlist.stats import compute_stats
-from repro.pblock.cf_search import InfeasibleModuleError, minimal_cf
+from repro.pblock.cf_search import (
+    InfeasibleModuleError,
+    minimal_cf,
+    recommended_step,
+)
+from repro.place.packer import _noise_hi, placer_noise_amplitude
 from repro.place.quick import quick_place
+from repro.rtlgen.base import RTLModule
 from repro.rtlgen.sweep import generate_sweep
 from repro.synth.mapper import opt_design, synthesize
 
@@ -32,6 +53,20 @@ class GenerationReport:
     n_infeasible:
         Modules with no feasible CF up to the sweep limit (counted, not
         silently dropped).
+    n_runs:
+        Total place-and-route attempts of the sweep (the paper's §VIII
+        "tool runs" proxy), including the attempts of infeasible
+        modules.  An adaptive-resolution sweep reports its run savings
+        here.
+    n_workers:
+        Worker processes the labeling fanned over (1 = sequential).
+    wall_s:
+        Wall-clock time of the generation (or of the cache lookup when
+        ``cache_hit``).
+    cache_hit:
+        True when the records were served from a
+        :class:`~repro.dataset.cache.DatasetCache` instead of being
+        regenerated.
     """
 
     n_requested: int
@@ -39,6 +74,90 @@ class GenerationReport:
     n_trivial: int
     n_infeasible: int
     infeasible_names: tuple[str, ...] = field(default=())
+    n_runs: int = 0
+    n_workers: int = 1
+    wall_s: float = 0.0
+    cache_hit: bool = False
+
+    def to_json_dict(self) -> dict:
+        """Plain-JSON representation (CLI ``--json`` and CI artifacts)."""
+        return {
+            "n_requested": self.n_requested,
+            "n_labeled": self.n_labeled,
+            "n_trivial": self.n_trivial,
+            "n_infeasible": self.n_infeasible,
+            "infeasible_names": list(self.infeasible_names),
+            "n_runs": self.n_runs,
+            "n_workers": self.n_workers,
+            "wall_s": self.wall_s,
+            "cache_hit": self.cache_hit,
+        }
+
+
+#: Outcome tag of one labeled module inside a worker chunk.
+_OK, _TRIVIAL, _INFEASIBLE = "ok", "trivial", "infeasible"
+
+
+def _label_module(
+    module: RTLModule,
+    grid: DeviceGrid,
+    start: float,
+    step: float,
+    max_cf: float,
+    skip_trivial: bool,
+    adaptive_step: bool,
+) -> tuple[str, ModuleRecord | str, int]:
+    """Label one module: ``(tag, record-or-name, n_runs)``."""
+    stats = compute_stats(opt_design(synthesize(module)))
+    if skip_trivial and stats.is_trivial():
+        return (_TRIVIAL, stats.name, 0)
+    report = quick_place(stats)
+    used_step = recommended_step(stats.n_lut) if adaptive_step else step
+    try:
+        found = minimal_cf(
+            stats, grid, start=start, step=used_step, max_cf=max_cf, report=report
+        )
+    except InfeasibleModuleError as exc:
+        return (_INFEASIBLE, stats.name, exc.n_runs)
+    record = make_record(
+        stats,
+        report,
+        min_cf=found.cf,
+        family=module.family,
+        sweep_step=used_step,
+    )
+    return (_OK, record, found.n_runs)
+
+
+def _label_chunk(
+    args: tuple[
+        list[RTLModule], DeviceGrid, float, float, float, bool, bool, float
+    ],
+) -> list[tuple[str, ModuleRecord | str, int]]:
+    """Worker entry point (module-level so it pickles).
+
+    The parent's placer-noise amplitude is re-applied inside the worker:
+    the override stack is process-local, and a noise-ablation sweep must
+    label identically whether it runs sequentially or fanned out.
+    """
+    modules, grid, start, step, max_cf, skip_trivial, adaptive, noise = args
+    with placer_noise_amplitude(noise):
+        return [
+            _label_module(m, grid, start, step, max_cf, skip_trivial, adaptive)
+            for m in modules
+        ]
+
+
+def _chunked(items: list, n_chunks: int) -> list[list]:
+    """Split into at most ``n_chunks`` contiguous, order-preserving runs."""
+    n_chunks = max(1, min(n_chunks, len(items)))
+    size, extra = divmod(len(items), n_chunks)
+    chunks, at = [], 0
+    for i in range(n_chunks):
+        end = at + size + (1 if i < extra else 0)
+        chunks.append(items[at:end])
+        at = end
+    return chunks
 
 
 def generate_dataset(
@@ -50,6 +169,10 @@ def generate_dataset(
     step: float = 0.02,
     max_cf: float = 2.5,
     skip_trivial: bool = True,
+    adaptive_step: bool = False,
+    workers: int | None = None,
+    cache: DatasetCache | None = None,
+    cache_dir: str | None = None,
 ) -> tuple[list[ModuleRecord], GenerationReport]:
     """Produce labeled module records for estimator training.
 
@@ -65,37 +188,114 @@ def generate_dataset(
         CF sweep parameters (paper: 0.9 / 0.02).
     skip_trivial:
         Drop one-or-two-tile modules.
+    adaptive_step:
+        Sweep each module at :func:`~repro.pblock.cf_search.recommended_step`
+        of its LUT count instead of the fixed ``step`` (§VI-C's
+        resolution rule); records carry the step actually used and the
+        report's ``n_runs`` shows the tool-run savings.
+    workers:
+        Worker processes the labeling fans over.  ``None``, 0 or 1 runs
+        sequentially in-process; results are bitwise identical for any
+        worker count (chunks are assembled in sweep order).  Falls back
+        to sequential when process pools are unavailable.
+    cache:
+        A :class:`~repro.dataset.cache.DatasetCache` to consult and
+        populate.  A warm hit returns the stored records with zero
+        synthesis/CF-search work.
+    cache_dir:
+        Convenience: when ``cache`` is not given, build a disk-persistent
+        cache rooted here.  Ignored if ``cache`` is provided.
 
     Returns
     -------
     (records, report)
         Labeled records (``min_cf`` set) and the generation report.
     """
+    t0 = time.perf_counter()
     grid = grid or xc7z020()
+    noise = _noise_hi()
+
+    if cache is None and cache_dir is not None:
+        cache = DatasetCache(cache_dir)
+    key = None
+    if cache is not None:
+        key = dataset_key(
+            n_modules,
+            seed,
+            grid,
+            start=start,
+            step=step,
+            max_cf=max_cf,
+            skip_trivial=skip_trivial,
+            adaptive_step=adaptive_step,
+            noise_amplitude=noise,
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            records, report = hit
+            report = dataclasses.replace(
+                report,
+                cache_hit=True,
+                wall_s=time.perf_counter() - t0,
+                n_workers=1,
+            )
+            return list(records), report
+
+    modules = generate_sweep(n_modules, seed=seed)
+    effective_workers = 1
+    if workers and workers > 1 and len(modules) > 1:
+        effective_workers = min(workers, len(modules))
+        # Several chunks per worker keep the pool busy even when module
+        # sizes (and so labeling costs) are skewed.
+        chunks = _chunked(modules, effective_workers * 4)
+        jobs = [
+            (c, grid, start, step, max_cf, skip_trivial, adaptive_step, noise)
+            for c in chunks
+        ]
+        try:
+            with ProcessPoolExecutor(max_workers=effective_workers) as pool:
+                # map() preserves chunk order; each module labels
+                # deterministically, so the concatenation is independent
+                # of the worker count.
+                outcomes = [o for part in pool.map(_label_chunk, jobs) for o in part]
+        except OSError:  # process pools unavailable (restricted sandboxes)
+            effective_workers = 1
+            outcomes = [
+                _label_module(
+                    m, grid, start, step, max_cf, skip_trivial, adaptive_step
+                )
+                for m in modules
+            ]
+    else:
+        outcomes = [
+            _label_module(m, grid, start, step, max_cf, skip_trivial, adaptive_step)
+            for m in modules
+        ]
+
     records: list[ModuleRecord] = []
     n_trivial = 0
+    n_runs = 0
     infeasible: list[str] = []
-    for module in generate_sweep(n_modules, seed=seed):
-        stats = compute_stats(opt_design(synthesize(module)))
-        if skip_trivial and stats.is_trivial():
+    for tag, payload, runs in outcomes:
+        n_runs += runs
+        if tag == _OK:
+            records.append(payload)
+        elif tag == _TRIVIAL:
             n_trivial += 1
-            continue
-        report = quick_place(stats)
-        try:
-            found = minimal_cf(
-                stats, grid, start=start, step=step, max_cf=max_cf, report=report
-            )
-        except InfeasibleModuleError:
-            infeasible.append(stats.name)
-            continue
-        records.append(
-            make_record(stats, report, min_cf=found.cf, family=module.family)
-        )
+        else:
+            infeasible.append(payload)
+
     report_ = GenerationReport(
         n_requested=n_modules,
         n_labeled=len(records),
         n_trivial=n_trivial,
         n_infeasible=len(infeasible),
         infeasible_names=tuple(infeasible),
+        n_runs=n_runs,
+        n_workers=effective_workers,
+        wall_s=time.perf_counter() - t0,
+        cache_hit=False,
     )
+    if cache is not None and key is not None:
+        cache.put(key, records, report_)
     return records, report_

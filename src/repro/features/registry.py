@@ -37,12 +37,18 @@ class ModuleRecord:
         Ground-truth minimal CF (``nan`` when unlabeled).
     family:
         Generator family (dataset metadata).
+    sweep_step:
+        Resolution of the CF sweep that produced ``min_cf``.  Binning
+        (balancing, histograms) must quantize on this grid, not on the
+        paper's default 0.02 — an adaptive-resolution sweep labels small
+        modules at 0.1/0.05 (§VI-C).
     """
 
     stats: NetlistStats
     report: ShapeReport
     min_cf: float = float("nan")
     family: str = ""
+    sweep_step: float = 0.02
 
     @property
     def name(self) -> str:
@@ -55,6 +61,7 @@ def make_record(
     report: ShapeReport | None = None,
     min_cf: float = float("nan"),
     family: str = "",
+    sweep_step: float = 0.02,
 ) -> ModuleRecord:
     """Build a record, running the quick placement if not supplied."""
     return ModuleRecord(
@@ -62,6 +69,7 @@ def make_record(
         report=report if report is not None else quick_place(stats),
         min_cf=min_cf,
         family=family,
+        sweep_step=sweep_step,
     )
 
 

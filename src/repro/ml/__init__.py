@@ -6,9 +6,16 @@ evaluation uses (relative error, 80/20 split).
 scikit-learn is deliberately not used: the models are small and fully
 specified in the paper, and owning the implementation lets the tree/forest
 expose the impurity-based feature importances Figs. 9/12 analyze.
+
+Tree growth ships two split-search engines (``engine="fast"``, the
+vectorized default, and ``engine="reference"``, the per-feature oracle)
+that produce bitwise identical trees; the forest additionally fits its
+trees over a process pool (``n_workers=N``) with seed-stable results and
+batches prediction across trees (:mod:`repro.ml.ensemble`).
 """
 
 from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.ensemble import StackedTrees, stack_trees
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.linear import LinearRegression
 from repro.ml.metrics import (
@@ -20,7 +27,7 @@ from repro.ml.metrics import (
 )
 from repro.ml.mlp import MLPRegressor
 from repro.ml.split import kfold_indices, train_test_split
-from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.tree import SPLIT_ENGINES, DecisionTreeRegressor
 
 __all__ = [
     "DecisionTreeRegressor",
@@ -28,6 +35,9 @@ __all__ = [
     "LinearRegression",
     "MLPRegressor",
     "RandomForestRegressor",
+    "SPLIT_ENGINES",
+    "StackedTrees",
+    "stack_trees",
     "kfold_indices",
     "mean_absolute_error",
     "mean_relative_error",

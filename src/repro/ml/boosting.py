@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ml.ensemble import StackedTrees, stack_trees
 from repro.ml.tree import DecisionTreeRegressor
 from repro.utils.rng import derive_seed
 
@@ -33,6 +34,9 @@ class GradientBoostingRegressor:
         values < 1 give stochastic gradient boosting.
     seed:
         Subsampling seed.
+    engine:
+        Split-search engine of the base learners (``"fast"`` or
+        ``"reference"``); both fit bitwise identical boosters.
     """
 
     def __init__(
@@ -42,6 +46,7 @@ class GradientBoostingRegressor:
         max_depth: int = 3,
         subsample: float = 1.0,
         seed: int = 0,
+        engine: str = "fast",
     ) -> None:
         if n_estimators < 1:
             raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
@@ -54,9 +59,11 @@ class GradientBoostingRegressor:
         self.max_depth = max_depth
         self.subsample = subsample
         self.seed = seed
+        self.engine = engine
         self.base_: float = 0.0
         self.trees_: list[DecisionTreeRegressor] = []
         self.train_losses_: list[float] = []
+        self._stacked: StackedTrees | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingRegressor":
         """Fit by stage-wise residual regression."""
@@ -72,6 +79,7 @@ class GradientBoostingRegressor:
         pred = np.full(n, self.base_)
         self.trees_ = []
         self.train_losses_ = []
+        self._stacked = None
         rng = np.random.default_rng(derive_seed(self.seed, "gbrt"))
         n_sub = max(1, int(round(n * self.subsample)))
         for t in range(self.n_estimators):
@@ -85,6 +93,7 @@ class GradientBoostingRegressor:
                 max_depth=self.max_depth,
                 min_samples_leaf=2,
                 seed=derive_seed(self.seed, "gbrt-tree", t),
+                engine=self.engine,
             )
             tree.fit(X[idx], residual[idx])
             pred += self.learning_rate * tree.predict(X)
@@ -93,13 +102,18 @@ class GradientBoostingRegressor:
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        """Sum of the shrunken stage predictions."""
+        """Sum of the shrunken stage predictions (batched across stages)."""
         if not self.trees_:
             raise RuntimeError("predict() before fit()")
         X = np.asarray(X, dtype=np.float64)
+        if self._stacked is None or self._stacked.n_trees != len(self.trees_):
+            self._stacked = stack_trees(self.trees_)
+        rows = self._stacked.tree_values(X)
+        # Stage order, one shrunken add per stage: bitwise identical to
+        # the historical per-tree loop.
         out = np.full(X.shape[0], self.base_)
-        for tree in self.trees_:
-            out += self.learning_rate * tree.predict(X)
+        for row in rows:
+            out += self.learning_rate * row
         return out
 
     @property

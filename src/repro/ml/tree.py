@@ -2,6 +2,15 @@
 
 The paper's single-DT estimator uses depth 20 (§VI-B); Figs. 9/12 read the
 impurity-based importances off this implementation.
+
+Split search comes in two engines.  ``engine="fast"`` (the default)
+evaluates every threshold of every candidate feature in one 2-D numpy
+pass: one stable argsort over the node's feature block, cumulative-sum
+variance reduction per column, and a single argmax across the whole gain
+matrix.  ``engine="reference"`` is the original per-feature Python loop,
+retained as the equivalence oracle — both engines produce bitwise
+identical trees (same splits, same thresholds, same importances), which
+the test suite asserts on random matrices.
 """
 
 from __future__ import annotations
@@ -10,7 +19,10 @@ import numpy as np
 
 from repro.utils.rng import stream
 
-__all__ = ["DecisionTreeRegressor"]
+__all__ = ["DecisionTreeRegressor", "SPLIT_ENGINES"]
+
+#: Split-search implementations; "fast" and "reference" grow identical trees.
+SPLIT_ENGINES = ("fast", "reference")
 
 
 class _Node:
@@ -45,6 +57,10 @@ class DecisionTreeRegressor:
         de-correlation.
     seed:
         Seed for feature subsampling.
+    engine:
+        Split-search implementation, ``"fast"`` (vectorized across
+        features) or ``"reference"`` (per-feature loop).  Both grow
+        bitwise identical trees; the knob only trades speed.
     """
 
     def __init__(
@@ -54,16 +70,22 @@ class DecisionTreeRegressor:
         min_samples_split: int = 2,
         max_features: int | str | None = None,
         seed: int = 0,
+        engine: str = "fast",
     ) -> None:
         if max_depth < 1:
             raise ValueError(f"max_depth must be >= 1, got {max_depth}")
         if min_samples_leaf < 1 or min_samples_split < 2:
             raise ValueError("min_samples_leaf >= 1 and min_samples_split >= 2")
+        if engine not in SPLIT_ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; known: {SPLIT_ENGINES}"
+            )
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
         self.min_samples_split = min_samples_split
         self.max_features = max_features
         self.seed = seed
+        self.engine = engine
         self._root: _Node | None = None
         self._n_features = 0
         self.feature_importances_: np.ndarray | None = None
@@ -93,7 +115,15 @@ class DecisionTreeRegressor:
         self._importance = np.zeros(self._n_features)
         self._rng = stream(self.seed, "dtree")
         self._flat = None  # invalidate the prediction cache
-        self._root = self._grow(X, y, np.arange(X.shape[0]), depth=0)
+        if self.engine == "fast":
+            # One stable sort at the root; nodes filter it down instead of
+            # re-sorting.  Stable filtering of a stable order equals the
+            # stable sort of the subset, so splits stay bitwise identical
+            # to the reference engine.
+            sort0 = np.argsort(X, axis=0, kind="stable").astype(np.int64)
+        else:
+            sort0 = None
+        self._root = self._grow(X, y, np.arange(X.shape[0]), sort0, depth=0)
         total = self._importance.sum()
         self.feature_importances_ = (
             self._importance / total if total > 0 else self._importance.copy()
@@ -101,7 +131,12 @@ class DecisionTreeRegressor:
         return self
 
     def _grow(
-        self, X: np.ndarray, y: np.ndarray, idx: np.ndarray, depth: int
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        idx: np.ndarray,
+        sort: np.ndarray | None,
+        depth: int,
     ) -> _Node:
         node = _Node()
         node.value = float(y[idx].mean())
@@ -119,24 +154,37 @@ class DecisionTreeRegressor:
         else:
             features = np.arange(self._n_features)
 
-        best = self._best_split(X, y, idx, features)
+        if self.engine == "fast":
+            best = self._best_split_fast(X, y, idx, sort, features)
+        else:
+            best = self._best_split_reference(X, y, idx, features)
         if best is None:
             return node
         feat, thr, gain, left_mask = best
         node.feature = int(feat)
         node.threshold = float(thr)
         self._importance[feat] += gain
-        node.left = self._grow(X, y, idx[left_mask], depth + 1)
-        node.right = self._grow(X, y, idx[~left_mask], depth + 1)
+        if sort is not None:
+            in_left = np.zeros(X.shape[0], dtype=bool)
+            in_left[idx[left_mask]] = True
+            keep = in_left[sort]  # (n, F): same column-wise sample sets
+            n_left = int(left_mask.sum())
+            sort_left = sort.T[keep.T].reshape(self._n_features, n_left).T
+            sort_right = sort.T[~keep.T].reshape(self._n_features, n - n_left).T
+        else:
+            sort_left = sort_right = None
+        node.left = self._grow(X, y, idx[left_mask], sort_left, depth + 1)
+        node.right = self._grow(X, y, idx[~left_mask], sort_right, depth + 1)
         return node
 
-    def _best_split(
+    def _best_split_reference(
         self,
         X: np.ndarray,
         y: np.ndarray,
         idx: np.ndarray,
         features: np.ndarray,
     ) -> tuple[int, float, float, np.ndarray] | None:
+        """Per-feature loop, vectorized over thresholds (the oracle)."""
         yv = y[idx]
         n = idx.size
         sum_all = yv.sum()
@@ -171,29 +219,102 @@ class DecisionTreeRegressor:
                 best = (int(f), thr, best_gain, X[idx, f] <= thr)
         return best
 
+    def _best_split_fast(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        idx: np.ndarray,
+        sort: np.ndarray,
+        features: np.ndarray,
+    ) -> tuple[int, float, float, np.ndarray] | None:
+        """All candidate features in one 2-D pass over presorted columns.
+
+        ``sort`` holds the node's samples per feature column in stable
+        x-sorted order (filtered down from the root sort, which equals a
+        stable sort of the subset).  Column ``j`` of every intermediate
+        equals the reference engine's 1-D arrays for feature
+        ``features[j]`` — same values, same operation order — and the
+        final first-max argmaxes reproduce the reference's tie-breaking
+        (earliest threshold within a feature, earliest feature across
+        equal gains), so the chosen split is bitwise identical.
+        """
+        yv = y[idx]
+        n = idx.size
+        sum_all = yv.sum()
+        sq_all = float((yv**2).sum())
+        node_sse = sq_all - sum_all**2 / n
+        m = self.min_samples_leaf
+
+        cols = sort[:, features]  # (n, k) global sample ids, x-sorted
+        xs = X[cols, features]
+        ys = y[cols]
+        csum = np.cumsum(ys, axis=0)[:-1]
+        csq = np.cumsum(ys**2, axis=0)[:-1]
+        counts = np.arange(1, n, dtype=np.float64)[:, None]
+        valid = (xs[:-1] < xs[1:]) & (counts >= m) & (n - counts >= m)
+        if not valid.any():
+            return None
+        left_sse = csq - csum**2 / counts
+        right_sum = sum_all - csum
+        right_sq = sq_all - csq
+        right_sse = right_sq - right_sum**2 / (n - counts)
+        gain = node_sse - (left_sse + right_sse)
+        gain[~valid] = -np.inf
+
+        pos = np.argmax(gain, axis=0)  # first max per column, as np.argmax
+        per_feature = gain[pos, np.arange(len(features))]
+        j = int(np.argmax(per_feature))  # first max across columns
+        if not per_feature[j] > 1e-12:
+            return None
+        i = int(pos[j])
+        f = int(features[j])
+        thr = (xs[i, j] + xs[i + 1, j]) / 2.0
+        return (f, thr, float(per_feature[j]), X[idx, f] <= thr)
+
     # ------------------------------------------------------------------ predict
 
+    def _flat_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The tree as ``(feats, thrs, lefts, rights, values)`` arrays."""
+        if self._root is None:
+            raise RuntimeError("tree not fitted")
+        if getattr(self, "_flat", None) is None:
+            self._flatten()
+        return self._flat
+
     def _flatten(self) -> None:
-        """Cache the tree as arrays for vectorized prediction."""
+        """Cache the tree as arrays for vectorized prediction.
+
+        Iterative preorder walk: degenerate trees can be deeper than the
+        Python recursion limit.
+        """
         feats: list[int] = []
         thrs: list[float] = []
         lefts: list[int] = []
         rights: list[int] = []
         values: list[float] = []
 
-        def visit(node: _Node) -> int:
+        # Stack of (node, parent_index, is_left_child); preorder so the
+        # node indices match the old recursive layout.
+        todo: list[tuple[_Node, int, bool]] = [(self._root, -1, False)]
+        while todo:
+            node, parent, is_left = todo.pop()
             idx = len(feats)
             feats.append(node.feature)
             thrs.append(node.threshold)
             lefts.append(-1)
             rights.append(-1)
             values.append(node.value)
+            if parent >= 0:
+                if is_left:
+                    lefts[parent] = idx
+                else:
+                    rights[parent] = idx
             if not node.is_leaf:
-                lefts[idx] = visit(node.left)
-                rights[idx] = visit(node.right)
-            return idx
-
-        visit(self._root)
+                # Push right first so the left subtree is emitted first.
+                todo.append((node.right, idx, False))
+                todo.append((node.left, idx, True))
         self._flat = (
             np.asarray(feats, dtype=np.int32),
             np.asarray(thrs, dtype=np.float64),
@@ -211,9 +332,7 @@ class DecisionTreeRegressor:
         if self._root is None:
             raise RuntimeError("predict() before fit()")
         X = np.asarray(X, dtype=np.float64)
-        if getattr(self, "_flat", None) is None:
-            self._flatten()
-        feats, thrs, lefts, rights, values = self._flat
+        feats, thrs, lefts, rights, values = self._flat_arrays()
         idx = np.zeros(X.shape[0], dtype=np.int32)
         active = lefts[idx] >= 0
         rows = np.arange(X.shape[0])
@@ -227,12 +346,20 @@ class DecisionTreeRegressor:
         return values[idx]
 
     def depth(self) -> int:
-        """Actual depth of the grown tree."""
-        def _d(node: _Node | None) -> int:
-            if node is None or node.is_leaf:
-                return 0
-            return 1 + max(_d(node.left), _d(node.right))
+        """Actual depth of the grown tree.
 
+        Iterative: a degenerate chain (one sample peeled per split) can
+        exceed the Python recursion limit long before it exhausts memory.
+        """
         if self._root is None:
             raise RuntimeError("depth() before fit()")
-        return _d(self._root)
+        best = 0
+        todo: list[tuple[_Node, int]] = [(self._root, 0)]
+        while todo:
+            node, d = todo.pop()
+            if node.is_leaf:
+                best = max(best, d)
+                continue
+            todo.append((node.left, d + 1))
+            todo.append((node.right, d + 1))
+        return best

@@ -30,7 +30,15 @@ DOWN_LIMIT = 0.3
 
 
 class InfeasibleModuleError(RuntimeError):
-    """No CF up to the limit yields a feasible placement."""
+    """No CF up to the limit yields a feasible placement.
+
+    Carries the number of attempted tool runs so dataset generation can
+    account for the cost of infeasible sweeps (§VIII's run-count proxy).
+    """
+
+    def __init__(self, message: str, n_runs: int = 0) -> None:
+        super().__init__(message)
+        self.n_runs = n_runs
 
 
 @dataclass(frozen=True)
@@ -136,7 +144,8 @@ def minimal_cf(
         cf = round(cf + step, 10)
     if best is None:
         raise InfeasibleModuleError(
-            f"{stats.name}: infeasible up to cf={max_cf} on {grid.name}"
+            f"{stats.name}: infeasible up to cf={max_cf} on {grid.name}",
+            n_runs=n_runs,
         )
 
     if search_down and abs(best[0] - start) < step / 2:

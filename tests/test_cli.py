@@ -38,6 +38,14 @@ class TestParser:
         assert args.n_modules == 100
         assert args.output == "out.md"
 
+    def test_dataset_defaults(self):
+        args = build_parser().parse_args(["dataset"])
+        assert args.workers == 0
+        assert args.cache_dir is None
+        assert args.step == 0.02
+        assert not args.adaptive_step
+        assert not args.json
+
 
 class TestCommands:
     def test_device(self, capsys):
@@ -79,6 +87,43 @@ class TestCommands:
 
         loaded = CFEstimator.load(est)
         assert loaded.kind == "dt"
+
+    def test_dataset_workers_and_cache(self, tmp_path, capsys):
+        ds = tmp_path / "ds.npz"
+        cache = tmp_path / "dscache"
+        argv = [
+            "dataset", "-n", "30", "-o", str(ds),
+            "--workers", "2", "--cache-dir", str(cache),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "worker(s)" in cold and "tool runs" in cold
+        assert any(cache.glob("*.pkl"))
+
+        # Second run hits the disk cache and says so.
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "[cache," in warm
+
+    def test_dataset_json_and_report(self, tmp_path, capsys):
+        import json
+
+        ds = tmp_path / "ds.npz"
+        report_path = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "dataset", "-n", "20", "-o", str(ds),
+                    "--adaptive-step", "--json",
+                    "--report-out", str(report_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_requested"] == 20
+        assert payload["n_runs"] > 0
+        assert json.loads(report_path.read_text()) == payload
 
 
 class TestExportDesign:

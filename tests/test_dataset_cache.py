@@ -1,0 +1,145 @@
+"""Tests for the content-addressed dataset cache."""
+
+import pickle
+
+import pytest
+
+from repro.dataset.cache import DatasetCache, dataset_key
+from repro.dataset.generate import generate_dataset
+from repro.device.parts import xc7z010, xc7z020
+from repro.place.packer import placer_noise_amplitude
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return xc7z020()
+
+
+class TestKey:
+    def test_stable(self, grid):
+        a = dataset_key(
+            50, 1, grid, start=0.9, step=0.02, max_cf=2.5,
+            skip_trivial=True, adaptive_step=False, noise_amplitude=0.05,
+        )
+        b = dataset_key(
+            50, 1, grid, start=0.9, step=0.02, max_cf=2.5,
+            skip_trivial=True, adaptive_step=False, noise_amplitude=0.05,
+        )
+        assert a == b
+
+    def test_sensitive_to_every_parameter(self, grid):
+        base = dict(
+            start=0.9, step=0.02, max_cf=2.5,
+            skip_trivial=True, adaptive_step=False, noise_amplitude=0.05,
+        )
+        ref = dataset_key(50, 1, grid, **base)
+        assert dataset_key(51, 1, grid, **base) != ref
+        assert dataset_key(50, 2, grid, **base) != ref
+        assert dataset_key(50, 1, xc7z010(), **base) != ref
+        for field, value in [
+            ("start", 1.0),
+            ("step", 0.05),
+            ("max_cf", 3.0),
+            ("skip_trivial", False),
+            ("adaptive_step", True),
+            ("noise_amplitude", 0.0),
+        ]:
+            assert dataset_key(50, 1, grid, **{**base, field: value}) != ref
+
+    def test_exposed_on_class(self, grid):
+        assert DatasetCache.key is dataset_key
+
+
+class TestStore:
+    def test_memory_hit(self, grid):
+        cache = DatasetCache()
+        records, report = generate_dataset(8, seed=1, grid=grid, cache=cache)
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        again, again_report = generate_dataset(8, seed=1, grid=grid, cache=cache)
+        assert again == records
+        assert again_report.cache_hit
+        assert again_report.n_runs == report.n_runs
+        assert cache.stats.mem_hits == 1
+
+    def test_disk_hit_across_instances(self, grid, tmp_path):
+        d = tmp_path / "ds"
+        records, _ = generate_dataset(8, seed=1, grid=grid, cache_dir=d)
+        fresh = DatasetCache(d)
+        warm, report = generate_dataset(8, seed=1, grid=grid, cache=fresh)
+        assert warm == records
+        assert report.cache_hit
+        assert fresh.stats.disk_hits == 1
+        assert fresh.n_disk_entries == 1
+
+    def test_different_config_misses(self, grid, tmp_path):
+        cache = DatasetCache(tmp_path / "ds")
+        generate_dataset(8, seed=1, grid=grid, cache=cache)
+        _, report = generate_dataset(8, seed=2, grid=grid, cache=cache)
+        assert not report.cache_hit
+        assert cache.n_disk_entries == 2
+
+    def test_noise_amplitude_in_key(self, grid):
+        cache = DatasetCache()
+        _, base = generate_dataset(8, seed=1, grid=grid, cache=cache)
+        with placer_noise_amplitude(0.0):
+            _, quiet = generate_dataset(8, seed=1, grid=grid, cache=cache)
+        # Regenerated, not served from the noisy sweep's entry.
+        assert not quiet.cache_hit
+        assert len(cache) == 2
+
+    def test_corrupt_entry_degrades_to_miss(self, grid, tmp_path):
+        d = tmp_path / "ds"
+        records, _ = generate_dataset(8, seed=1, grid=grid, cache_dir=d)
+        (pkl,) = d.glob("*.pkl")
+        pkl.write_bytes(b"not a pickle")
+        fresh = DatasetCache(d)
+        warm, report = generate_dataset(8, seed=1, grid=grid, cache=fresh)
+        assert warm == records  # regenerated, not crashed
+        assert not report.cache_hit
+        assert fresh.stats.misses == 1
+        # The corrupt file was dropped and replaced by the regeneration.
+        entry = pickle.loads(pkl.read_bytes())
+        assert entry[0] == records
+
+    def test_wrong_shape_entry_degrades_to_miss(self, grid, tmp_path):
+        d = tmp_path / "ds"
+        generate_dataset(8, seed=1, grid=grid, cache_dir=d)
+        (pkl,) = d.glob("*.pkl")
+        pkl.write_bytes(pickle.dumps([1, 2, 3]))
+        fresh = DatasetCache(d)
+        _, report = generate_dataset(8, seed=1, grid=grid, cache=fresh)
+        assert not report.cache_hit
+
+    def test_contains_and_clear(self, grid, tmp_path):
+        cache = DatasetCache(tmp_path / "ds")
+        generate_dataset(8, seed=1, grid=grid, cache=cache)
+        key = next(iter(cache._mem))
+        assert key in cache
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert key in cache  # still on disk
+        cache.clear(disk=True)
+        assert key not in cache
+        assert cache.n_disk_entries == 0
+
+    def test_describe(self, grid, tmp_path):
+        cache = DatasetCache(tmp_path / "ds")
+        generate_dataset(8, seed=1, grid=grid, cache=cache)
+        text = cache.describe()
+        assert "1 in memory" in text
+        assert "1 on disk" in text
+
+    def test_memory_only_cache_has_no_disk(self, grid):
+        cache = DatasetCache()
+        generate_dataset(8, seed=1, grid=grid, cache=cache)
+        assert cache.n_disk_entries == 0
+
+    def test_hit_returns_fresh_list(self, grid):
+        cache = DatasetCache()
+        records, _ = generate_dataset(8, seed=1, grid=grid, cache=cache)
+        warm, _ = generate_dataset(8, seed=1, grid=grid, cache=cache)
+        warm.append("sentinel")
+        again, _ = generate_dataset(8, seed=1, grid=grid, cache=cache)
+        assert again == records

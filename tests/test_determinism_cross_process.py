@@ -31,6 +31,19 @@ payload = json.dumps([labels, placement, res.stitch.final_cost])
 print(hashlib.sha256(payload.encode()).hexdigest())
 """
 
+# The dataset sweep must label identically in any interpreter and with
+# any worker count; __WORKERS__ is substituted before running.
+_DATASET_SNIPPET = """
+import hashlib, json
+from repro.dataset import generate_dataset
+
+records, report = generate_dataset(32, seed=4, workers=__WORKERS__)
+payload = json.dumps(
+    [[(r.name, r.min_cf, r.sweep_step) for r in records], report.n_runs]
+)
+print(hashlib.sha256(payload.encode()).hexdigest())
+"""
+
 # stitch_best must pick the same winner in any interpreter and with any
 # worker count; __N_WORKERS__ is substituted before running.
 _RESTART_SNIPPET = """
@@ -80,4 +93,11 @@ class TestCrossProcessDeterminism:
         serial = _run(_RESTART_SNIPPET.replace("__N_WORKERS__", "0"))
         serial_again = _run(_RESTART_SNIPPET.replace("__N_WORKERS__", "0"))
         parallel = _run(_RESTART_SNIPPET.replace("__N_WORKERS__", "2"))
+        assert serial == serial_again == parallel
+
+    def test_dataset_generation_worker_independent(self):
+        """Same sweep config => same labels, 1 or 4 workers, any process."""
+        serial = _run(_DATASET_SNIPPET.replace("__WORKERS__", "1"))
+        serial_again = _run(_DATASET_SNIPPET.replace("__WORKERS__", "1"))
+        parallel = _run(_DATASET_SNIPPET.replace("__WORKERS__", "4"))
         assert serial == serial_again == parallel
