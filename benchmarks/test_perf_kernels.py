@@ -132,3 +132,39 @@ def test_perf_stitch_fast_vs_reference(grid):
         f"fast kernel ({t_fast * 1e3:.1f} ms) slower than reference "
         f"({t_ref * 1e3:.1f} ms)"
     )
+
+
+def test_perf_tracer_overhead(grid):
+    """Tracing must stay cheap on the stitch benchmark workload.
+
+    This is the CI perf-smoke gate for the observability layer.  With
+    tracing disabled (the ambient default) ``stitch`` builds the same
+    private trace the bespoke timing code used to, so the run should
+    cost the same; with an explicit enabled tracer the only extra work
+    is keeping the span forest.  Both must land within a small factor of
+    each other — the gate is ~2% plus a fixed epsilon that absorbs
+    timer jitter on a sub-100 ms workload.
+    """
+    import time
+
+    from repro.obs.tracer import Tracer
+
+    d, fps = _stitch_case()
+    params = SAParams(max_iters=2000, seed=0)
+
+    def best_of(tracer) -> float:
+        elapsed = []
+        for _ in range(5):
+            t0 = time.perf_counter()
+            stitch(d, fps, grid, params, tracer=tracer)
+            elapsed.append(time.perf_counter() - t0)
+        return min(elapsed)
+
+    stitch(d, fps, grid, params)  # warm caches before timing
+    t_disabled = best_of(None)
+    t_enabled = best_of(Tracer())
+    budget = 1.02 * t_disabled + 0.005
+    assert t_enabled <= budget, (
+        f"enabled tracer ({t_enabled * 1e3:.1f} ms) exceeds the overhead "
+        f"budget ({budget * 1e3:.1f} ms; disabled: {t_disabled * 1e3:.1f} ms)"
+    )

@@ -39,7 +39,7 @@ def generate_report(
     """Run all experiments and return a Markdown report."""
     sa = sa_params or SAParams(max_iters=40000, seed=ctx.seed)
     out = io.StringIO()
-    t_start = time.time()
+    t_start = time.perf_counter()
 
     def section(title: str) -> None:
         out.write(f"\n## {title}\n\n")
@@ -226,7 +226,7 @@ def generate_report(
     )
 
     out.write(
-        f"\n---\nGenerated in {time.time() - t_start:.0f}s by "
+        f"\n---\nGenerated in {time.perf_counter() - t_start:.0f}s by "
         "`python -m repro report`.\n"
     )
     return out.getvalue()

@@ -9,6 +9,8 @@ Usage::
     python -m repro train -d ds.npz -o est.json  # train a CF estimator
     python -m repro preimpl design.json --cache-dir .cache --workers 4  # warm the cache
     python -m repro stitch design.json --cf 1.5 --restarts 4  # place a design
+    python -m repro stitch design.json --profile --trace-out trace.json
+    python -m repro trace summarize trace.json  # render a saved trace
     python -m repro report [-n 2000] [-o EXPERIMENTS.md]  # all experiments
 """
 
@@ -24,6 +26,36 @@ __all__ = ["main", "build_parser"]
 #: Mirrors :data:`repro.flow.stitcher.KERNELS` (kept literal so parser
 #: construction stays import-light; tests assert the two agree).
 _SA_KERNELS = ("fast", "reference")
+
+
+def _add_trace_args(p: argparse.ArgumentParser) -> None:
+    """Tracing flags shared by the long-running commands."""
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write the span trace as JSON (or JSONL for *.jsonl)")
+    p.add_argument("--profile", action="store_true",
+                   help="print the per-stage trace breakdown after the run")
+
+
+def _make_tracer(args: argparse.Namespace):
+    """An enabled tracer when the run should be traced, else None."""
+    if not (args.trace_out or args.profile):
+        return None
+    from repro.obs.tracer import Tracer
+
+    return Tracer()
+
+
+def _emit_trace(tracer, args: argparse.Namespace) -> None:
+    """Honor ``--trace-out`` / ``--profile`` for a finished run."""
+    if tracer is None:
+        return
+    from repro.obs.export import save_trace, summarize_trace
+
+    if args.trace_out:
+        save_trace(tracer, args.trace_out)
+        print(f"trace written to {args.trace_out}")
+    if args.profile:
+        print(summarize_trace(tracer))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ds.add_argument("--json", action="store_true",
                       help="emit the GenerationReport as JSON on stdout")
     p_ds.add_argument("-o", "--output", default="cf_dataset.npz")
+    _add_trace_args(p_ds)
 
     p_tr = sub.add_parser("train", help="train a CF estimator on a saved dataset")
     p_tr.add_argument("-d", "--dataset", required=True)
@@ -94,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes for cache misses (0 = serial)")
     p_pi.add_argument("--json", action="store_true",
                       help="emit the FlowStats as JSON on stdout")
+    _add_trace_args(p_pi)
 
     p_st = sub.add_parser(
         "stitch", help="pre-implement and stitch a saved block design"
@@ -114,6 +148,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_st.add_argument("--seed", type=int, default=0)
     p_st.add_argument("--render", action="store_true",
                       help="print the ASCII occupancy map")
+    _add_trace_args(p_st)
+
+    p_trace = sub.add_parser("trace", help="inspect a saved span trace")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tsum = trace_sub.add_parser(
+        "summarize", help="render a trace's per-stage breakdown table"
+    )
+    p_tsum.add_argument("path", help="trace file (JSON or JSONL)")
 
     p_rep = sub.add_parser("report", help="run every experiment, emit Markdown")
     p_rep.add_argument("-n", "--n-modules", type=int, default=800)
@@ -187,6 +229,7 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
         save_generation_report,
     )
 
+    tracer = _make_tracer(args)
     records, report = generate_dataset(
         args.n_modules,
         seed=args.seed,
@@ -194,11 +237,13 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
         adaptive_step=args.adaptive_step,
         workers=args.workers or None,
         cache_dir=args.cache_dir,
+        tracer=tracer,
     )
     balanced = balance_dataset(records, cap_per_bin=args.cap, seed=args.seed)
     save_dataset_arrays(balanced, args.output)
     if args.report_out:
         save_generation_report(report, args.report_out)
+    _emit_trace(tracer, args)
     if args.json:
         print(json.dumps(report.to_json_dict(), indent=2, sort_keys=True))
         return 0
@@ -252,14 +297,17 @@ def _cmd_preimpl(args: argparse.Namespace) -> int:
         "sweep": SweepCF,
         "minimal": MinimalCFPolicy,
     }[args.policy]()
+    tracer = _make_tracer(args)
     result = implement_design(
         design,
         grid,
         policy,
         n_workers=args.workers or None,
         cache_dir=args.cache_dir,
+        tracer=tracer,
     )
     st = result.stats
+    _emit_trace(tracer, args)
     if args.json:
         print(json.dumps(st.to_json_dict(), indent=2, sort_keys=True))
         return 0 if result.ok else 1
@@ -287,6 +335,7 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
     design = load_design(args.design)
     grid = make_part(args.part)
     policy = MinimalCFPolicy() if args.minimal else FixedCF(args.cf)
+    tracer = _make_tracer(args)
     res = run_rw_flow(
         design,
         grid,
@@ -295,8 +344,10 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
         kernel=args.kernel,
         n_seeds=args.restarts,
         n_workers=args.workers or None,
+        tracer=tracer,
     )
     s = res.stitch
+    _emit_trace(tracer, args)
     print(
         f"{design.name} on {grid.name}: {s.n_placed} placed, "
         f"{s.n_unplaced} unplaced, wirelength {s.wirelength:.1f}, "
@@ -320,6 +371,13 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
     if not res.ok:
         print(res.infeasible.describe())
         return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.export import load_trace, summarize_trace
+
+    print(summarize_trace(load_trace(args.path)))
     return 0
 
 
@@ -349,6 +407,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "preimpl": _cmd_preimpl,
     "stitch": _cmd_stitch,
+    "trace": _cmd_trace,
     "report": _cmd_report,
 }
 

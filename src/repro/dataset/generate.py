@@ -14,7 +14,6 @@ zero CF-search tool runs.
 from __future__ import annotations
 
 import dataclasses
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
@@ -23,6 +22,7 @@ from repro.device.grid import DeviceGrid
 from repro.device.parts import xc7z020
 from repro.features.registry import ModuleRecord, make_record
 from repro.netlist.stats import compute_stats
+from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.pblock.cf_search import (
     InfeasibleModuleError,
     minimal_cf,
@@ -131,21 +131,46 @@ def _label_module(
 
 def _label_chunk(
     args: tuple[
-        list[RTLModule], DeviceGrid, float, float, float, bool, bool, float
+        list[RTLModule], DeviceGrid, float, float, float, bool, bool, float, bool
     ],
-) -> list[tuple[str, ModuleRecord | str, int]]:
+) -> tuple[list[tuple[str, ModuleRecord | str, int]], list[dict] | None]:
     """Worker entry point (module-level so it pickles).
 
     The parent's placer-noise amplitude is re-applied inside the worker:
     the override stack is process-local, and a noise-ablation sweep must
     label identically whether it runs sequentially or fanned out.
+
+    When ``want_trace`` is set, one ``dataset.module`` span is recorded
+    per module into a worker-local tracer and the span dicts ride back
+    with the outcomes; the parent grafts each exactly once, so the
+    merged trace is identical for any worker count (the sequential path
+    goes through this same entry point).
     """
-    modules, grid, start, step, max_cf, skip_trivial, adaptive, noise = args
+    (
+        modules, grid, start, step, max_cf, skip_trivial, adaptive, noise,
+        want_trace,
+    ) = args
+    tr = Tracer() if want_trace else None
+    outcomes = []
     with placer_noise_amplitude(noise):
-        return [
-            _label_module(m, grid, start, step, max_cf, skip_trivial, adaptive)
-            for m in modules
-        ]
+        for m in modules:
+            span = tr.span("dataset.module", module=m.name) if tr else None
+            if span is None:
+                outcomes.append(
+                    _label_module(
+                        m, grid, start, step, max_cf, skip_trivial, adaptive
+                    )
+                )
+                continue
+            with span as sp:
+                out = _label_module(
+                    m, grid, start, step, max_cf, skip_trivial, adaptive
+                )
+                sp.set_attr("outcome", out[0])
+                sp.incr("n_runs", out[2])
+            outcomes.append(out)
+    traces = [root.to_json_dict() for root in tr.roots] if tr else None
+    return outcomes, traces
 
 
 def _chunked(items: list, n_chunks: int) -> list[list]:
@@ -173,6 +198,7 @@ def generate_dataset(
     workers: int | None = None,
     cache: DatasetCache | None = None,
     cache_dir: str | None = None,
+    tracer: Tracer | NullTracer | None = None,
 ) -> tuple[list[ModuleRecord], GenerationReport]:
     """Produce labeled module records for estimator training.
 
@@ -205,97 +231,148 @@ def generate_dataset(
     cache_dir:
         Convenience: when ``cache`` is not given, build a disk-persistent
         cache rooted here.  Ignored if ``cache`` is provided.
+    tracer:
+        Where the ``dataset`` span tree is recorded (cache probe, sweep,
+        one ``dataset.module`` span per labeled module — merged from the
+        workers when the labeling fans out); defaults to the ambient
+        tracer.  With the ambient tracer disabled a private throwaway
+        tracer provides the :class:`GenerationReport` timing.
 
     Returns
     -------
     (records, report)
         Labeled records (``min_cf`` set) and the generation report.
     """
-    t0 = time.perf_counter()
+    ambient = tracer if tracer is not None else current_tracer()
+    tr = ambient if ambient.enabled else Tracer()
+    want_trace = ambient.enabled
     grid = grid or xc7z020()
     noise = _noise_hi()
 
-    if cache is None and cache_dir is not None:
-        cache = DatasetCache(cache_dir)
-    key = None
-    if cache is not None:
-        key = dataset_key(
-            n_modules,
-            seed,
-            grid,
-            start=start,
-            step=step,
-            max_cf=max_cf,
-            skip_trivial=skip_trivial,
-            adaptive_step=adaptive_step,
-            noise_amplitude=noise,
-        )
-        hit = cache.get(key)
+    with tr.span("dataset", n_modules=n_modules, seed=seed) as sp_root:
+        with tr.span("dataset.cache") as sp_cache:
+            if cache is None and cache_dir is not None:
+                cache = DatasetCache(cache_dir)
+            key = None
+            hit = None
+            if cache is not None:
+                key = dataset_key(
+                    n_modules,
+                    seed,
+                    grid,
+                    start=start,
+                    step=step,
+                    max_cf=max_cf,
+                    skip_trivial=skip_trivial,
+                    adaptive_step=adaptive_step,
+                    noise_amplitude=noise,
+                )
+                hit = cache.get(key)
+                sp_cache.incr("hits", 1 if hit is not None else 0)
+                sp_cache.incr("misses", 0 if hit is not None else 1)
         if hit is not None:
             records, report = hit
+            sp_root.set_attr("cache_hit", True)
+            tr.metrics.counter("dataset.cache.hits").inc()
             report = dataclasses.replace(
                 report,
                 cache_hit=True,
-                wall_s=time.perf_counter() - t0,
+                wall_s=sp_root.elapsed(),
                 n_workers=1,
             )
             return list(records), report
 
-    modules = generate_sweep(n_modules, seed=seed)
-    effective_workers = 1
-    if workers and workers > 1 and len(modules) > 1:
-        effective_workers = min(workers, len(modules))
-        # Several chunks per worker keep the pool busy even when module
-        # sizes (and so labeling costs) are skewed.
-        chunks = _chunked(modules, effective_workers * 4)
-        jobs = [
-            (c, grid, start, step, max_cf, skip_trivial, adaptive_step, noise)
-            for c in chunks
-        ]
-        try:
-            with ProcessPoolExecutor(max_workers=effective_workers) as pool:
-                # map() preserves chunk order; each module labels
-                # deterministically, so the concatenation is independent
-                # of the worker count.
-                outcomes = [o for part in pool.map(_label_chunk, jobs) for o in part]
-        except OSError:  # process pools unavailable (restricted sandboxes)
-            effective_workers = 1
-            outcomes = [
-                _label_module(
-                    m, grid, start, step, max_cf, skip_trivial, adaptive_step
-                )
-                for m in modules
-            ]
-    else:
-        outcomes = [
-            _label_module(m, grid, start, step, max_cf, skip_trivial, adaptive_step)
-            for m in modules
-        ]
+        with tr.span("dataset.sweep") as sp_sweep:
+            modules = generate_sweep(n_modules, seed=seed)
+            sp_sweep.incr("n_generated", len(modules))
 
-    records: list[ModuleRecord] = []
-    n_trivial = 0
-    n_runs = 0
-    infeasible: list[str] = []
-    for tag, payload, runs in outcomes:
-        n_runs += runs
-        if tag == _OK:
-            records.append(payload)
-        elif tag == _TRIVIAL:
-            n_trivial += 1
-        else:
-            infeasible.append(payload)
+        effective_workers = 1
+        with tr.span("dataset.label") as sp_label:
+            if workers and workers > 1 and len(modules) > 1:
+                effective_workers = min(workers, len(modules))
+                # Several chunks per worker keep the pool busy even when
+                # module sizes (and so labeling costs) are skewed.
+                chunks = _chunked(modules, effective_workers * 4)
+                jobs = [
+                    (
+                        c, grid, start, step, max_cf, skip_trivial,
+                        adaptive_step, noise, want_trace,
+                    )
+                    for c in chunks
+                ]
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=effective_workers
+                    ) as pool:
+                        # map() preserves chunk order; each module labels
+                        # deterministically, so the concatenation is
+                        # independent of the worker count.
+                        parts = list(pool.map(_label_chunk, jobs))
+                except OSError:  # pools unavailable (restricted sandboxes)
+                    effective_workers = 1
+                    parts = [
+                        _label_chunk(
+                            (
+                                modules, grid, start, step, max_cf,
+                                skip_trivial, adaptive_step, noise, want_trace,
+                            )
+                        )
+                    ]
+            else:
+                parts = [
+                    _label_chunk(
+                        (
+                            modules, grid, start, step, max_cf, skip_trivial,
+                            adaptive_step, noise, want_trace,
+                        )
+                    )
+                ]
+            # Exactly one graft per module span, whichever path labeled
+            # it (pool, sequential, or the OSError fallback — the
+            # fallback rebuilds `parts` wholesale, so chunks attempted by
+            # a partially-failed pool are never merged twice).
+            outcomes = [o for part, _traces in parts for o in part]
+            if want_trace:
+                for _part, traces in parts:
+                    for trace in traces or ():
+                        tr.graft(trace)
 
-    report_ = GenerationReport(
-        n_requested=n_modules,
-        n_labeled=len(records),
-        n_trivial=n_trivial,
-        n_infeasible=len(infeasible),
-        infeasible_names=tuple(infeasible),
-        n_runs=n_runs,
-        n_workers=effective_workers,
-        wall_s=time.perf_counter() - t0,
-        cache_hit=False,
-    )
-    if cache is not None and key is not None:
-        cache.put(key, records, report_)
+        records: list[ModuleRecord] = []
+        n_trivial = 0
+        n_runs = 0
+        infeasible: list[str] = []
+        for tag, payload, runs in outcomes:
+            n_runs += runs
+            if tag == _OK:
+                records.append(payload)
+            elif tag == _TRIVIAL:
+                n_trivial += 1
+            else:
+                infeasible.append(payload)
+
+        sp_label.incr("n_labeled", len(records))
+        sp_label.incr("n_trivial", n_trivial)
+        sp_label.incr("n_infeasible", len(infeasible))
+        sp_label.incr("n_runs", n_runs)
+        sp_root.set_attr("n_workers", effective_workers)
+        m = tr.metrics
+        if cache is not None:
+            m.counter("dataset.cache.misses").inc()
+        m.counter("dataset.tool_runs").inc(n_runs)
+        m.gauge("dataset.n_workers").set(effective_workers)
+
+        report_ = GenerationReport(
+            n_requested=n_modules,
+            n_labeled=len(records),
+            n_trivial=n_trivial,
+            n_infeasible=len(infeasible),
+            infeasible_names=tuple(infeasible),
+            n_runs=n_runs,
+            n_workers=effective_workers,
+            wall_s=sp_root.elapsed(),
+            cache_hit=False,
+        )
+        if cache is not None and key is not None:
+            with tr.span("dataset.store"):
+                cache.put(key, records, report_)
     return records, report_

@@ -21,6 +21,7 @@ from repro.flow.cache import ModuleCache
 from repro.flow.policy import CFPolicy, FixedCF, FlowInfeasibleError
 from repro.flow.preimpl import ImplementedModule, implement_module
 from repro.flow.stitcher import SAParams, StitchResult, stitch
+from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.rtlgen.base import RTLModule
 from repro.utils.tables import Table
 
@@ -127,6 +128,11 @@ class DSEExplorer:
     cache_dir:
         Disk-persistent cache root when ``cache`` is not given, so DSE
         sessions warm-start across process restarts.
+    tracer:
+        Where each :meth:`evaluate` records its ``dse.evaluate`` span
+        (module implementation + the nested ``stitch`` phase breakdown).
+        Defaults to the tracer ambient at evaluate time, so one
+        ``use_tracer`` block around an exploration captures every step.
     """
 
     def __init__(
@@ -140,6 +146,7 @@ class DSEExplorer:
         kernel: str = "fast",
         cache: ModuleCache | None = None,
         cache_dir: str | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         base.validate()
         self.base = base
@@ -149,6 +156,7 @@ class DSEExplorer:
         self.sa_params = sa_params or SAParams(max_iters=8000, seed=0)
         self.kernel = kernel
         self.cache = cache if cache is not None else ModuleCache(cache_dir)
+        self.tracer = tracer
         self.points: list[DSEPoint] = []
 
     # ------------------------------------------------------------------ cache
@@ -193,51 +201,58 @@ class DSEExplorer:
         if unknown:
             raise KeyError(f"overrides for unknown modules: {sorted(unknown)}")
 
-        impls: dict[str, ImplementedModule] = {}
-        effort = 0
-        hits = 0
-        infeasible: list[str] = []
-        for name, module in self.base.modules.items():
-            chosen = overrides.get(name, module)
-            impl, hit = self._implement(chosen)
-            if impl is None:
-                infeasible.append(name)
-                continue
-            impls[name] = impl
-            if hit:
-                hits += 1
-            else:
-                effort += impl.outcome.result.demand_slices
+        tr = self.tracer if self.tracer is not None else current_tracer()
+        with tr.span("dse.evaluate", label=label) as sp:
+            impls: dict[str, ImplementedModule] = {}
+            effort = 0
+            hits = 0
+            infeasible: list[str] = []
+            for name, module in self.base.modules.items():
+                chosen = overrides.get(name, module)
+                impl, hit = self._implement(chosen)
+                if impl is None:
+                    infeasible.append(name)
+                    continue
+                impls[name] = impl
+                if hit:
+                    hits += 1
+                else:
+                    effort += impl.outcome.result.demand_slices
 
-        footprints = {
-            name: impl.outcome.result.footprint for name, impl in impls.items()
-        }
-        counts = self.base.instance_counts()
-        stitchable = (
-            self.base if not infeasible else self.base.subset(set(impls))
-        )
-        if stitchable.instances:
-            stitched: StitchResult = stitch(
-                stitchable, footprints, self.stitch_grid, self.sa_params,
-                kernel=self.kernel,
+            footprints = {
+                name: impl.outcome.result.footprint
+                for name, impl in impls.items()
+            }
+            counts = self.base.instance_counts()
+            stitchable = (
+                self.base if not infeasible else self.base.subset(set(impls))
             )
-            n_unplaced = stitched.n_unplaced
-        else:
-            n_unplaced = 0
-        n_unplaced += sum(counts[m] for m in infeasible)
+            if stitchable.instances:
+                stitched: StitchResult = stitch(
+                    stitchable, footprints, self.stitch_grid, self.sa_params,
+                    kernel=self.kernel, tracer=tr,
+                )
+                n_unplaced = stitched.n_unplaced
+            else:
+                n_unplaced = 0
+            n_unplaced += sum(counts[m] for m in infeasible)
 
-        area = sum(impls[m].used_slices * counts[m] for m in impls)
-        worst = max(
-            (impl.timing.total_ns for impl in impls.values()), default=0.0
-        )
-        point = DSEPoint(
-            label=label,
-            area_slices=area,
-            worst_path_ns=worst,
-            n_unplaced=n_unplaced,
-            implemented_effort=effort,
-            cache_hits=hits,
-        )
+            area = sum(impls[m].used_slices * counts[m] for m in impls)
+            worst = max(
+                (impl.timing.total_ns for impl in impls.values()), default=0.0
+            )
+            sp.incr("cache_hits", hits)
+            sp.incr("implemented_effort", effort)
+            sp.set_attr("n_unplaced", n_unplaced)
+            sp.set_attr("n_infeasible", len(infeasible))
+            point = DSEPoint(
+                label=label,
+                area_slices=area,
+                worst_path_ns=worst,
+                n_unplaced=n_unplaced,
+                implemented_effort=effort,
+                cache_hits=hits,
+            )
         self.points.append(point)
         return point
 

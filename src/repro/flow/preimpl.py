@@ -44,6 +44,7 @@ from repro.flow.blockdesign import BlockDesign
 from repro.flow.cache import CacheStats, ModuleCache
 from repro.flow.policy import CFOutcome, CFPolicy, FlowInfeasibleError
 from repro.netlist.stats import NetlistStats, compute_stats
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, current_tracer
 from repro.place.quick import ShapeReport, quick_place
 from repro.route.timing import TimingReport, longest_path
 from repro.rtlgen.base import RTLModule
@@ -338,22 +339,44 @@ def implement_module(
 
 
 def _implement_one(
-    args: tuple[RTLModule, DeviceGrid, CFPolicy],
-) -> tuple[str, ImplementedModule | None, str, tuple[float, ...], int, float]:
+    args: tuple[RTLModule, DeviceGrid, CFPolicy, bool],
+) -> tuple[
+    str, ImplementedModule | None, str, tuple[float, ...], int, float, dict | None
+]:
     """Worker entry point (module-level so it pickles).
 
-    Returns ``(name, impl, reason, attempted_cfs, fail_runs, wall_s)``;
-    ``impl`` is ``None`` exactly when the module is infeasible.
+    Returns ``(name, impl, reason, attempted_cfs, fail_runs, wall_s,
+    trace)``; ``impl`` is ``None`` exactly when the module is infeasible.
+    When ``want_trace`` is set the module's ``preimpl.module`` span tree
+    is recorded into a worker-local tracer and shipped back as a plain
+    dict, which the parent grafts into its own trace exactly once —
+    spans therefore merge identically for any worker count, and for the
+    in-process sequential path, which uses the same entry point.
     """
-    module, grid, policy = args
+    module, grid, policy, want_trace = args
+    tr = Tracer() if want_trace else None
+    impl: ImplementedModule | None = None
+    reason = ""
+    attempted: tuple[float, ...] = ()
+    fail_runs = 0
     t0 = time.perf_counter()
-    try:
-        impl = implement_module(module, grid, policy)
-    except FlowInfeasibleError as exc:
-        wall = time.perf_counter() - t0
-        return (module.name, None, str(exc), exc.attempted_cfs, exc.n_runs, wall)
+    span = tr.span("preimpl.module", module=module.name) if tr else NULL_TRACER.span("")
+    with span as sp:
+        try:
+            impl = implement_module(module, grid, policy)
+        except FlowInfeasibleError as exc:
+            reason = str(exc)
+            attempted = exc.attempted_cfs
+            fail_runs = exc.n_runs
+            sp.set_attr("feasible", False)
+            sp.incr("n_runs", exc.n_runs)
+        else:
+            sp.set_attr("feasible", True)
+            sp.set_attr("cf", impl.outcome.cf)
+            sp.incr("n_runs", impl.outcome.n_runs)
     wall = time.perf_counter() - t0
-    return (module.name, impl, "", (), 0, wall)
+    trace = tr.roots[0].to_json_dict() if tr else None
+    return (module.name, impl, reason, attempted, fail_runs, wall, trace)
 
 
 def implement_design(
@@ -364,6 +387,7 @@ def implement_design(
     n_workers: int | None = None,
     cache: ModuleCache | None = None,
     cache_dir: str | None = None,
+    tracer: Tracer | NullTracer | None = None,
 ) -> PreImplResult:
     """Pre-implement every unique module of ``design``.
 
@@ -389,6 +413,12 @@ def implement_design(
     cache_dir:
         Convenience: when ``cache`` is not given, build a disk-persistent
         cache rooted here.  Ignored if ``cache`` is provided.
+    tracer:
+        Where the ``preimpl`` span tree is recorded (cache probe, one
+        ``preimpl.module`` span per miss — merged from the workers when
+        the misses fan out); defaults to the ambient tracer.  With the
+        ambient tracer disabled, a private throwaway tracer provides the
+        timings :class:`FlowStats` is derived from.
 
     Returns
     -------
@@ -400,116 +430,146 @@ def implement_design(
         are ``result.stats.total_tool_runs``; runs this call actually
         executed are ``result.stats.new_tool_runs``.
     """
-    t0 = time.perf_counter()
-    design.validate()
-    if cache is None:
-        cache = ModuleCache(cache_dir)
+    ambient = tracer if tracer is not None else current_tracer()
+    tr = ambient if ambient.enabled else Tracer()
+    # Ship per-module span trees through the pool only when someone will
+    # read them; the private fallback tracer just times the call.
+    want_trace = ambient.enabled
 
-    order = list(design.modules)
-    keys = {
-        name: cache.key(module, grid, policy)
-        for name, module in design.modules.items()
-    }
+    with tr.span("preimpl", design=design.name) as sp_root:
+        with tr.span("preimpl.cache") as sp_cache:
+            design.validate()
+            if cache is None:
+                cache = ModuleCache(cache_dir)
 
-    hits: dict[str, ImplementedModule] = {}
-    misses: list[tuple[str, RTLModule]] = []
-    for name, module in design.modules.items():
-        impl = cache.get(keys[name])
-        if impl is not None:
-            hits[name] = impl
-        else:
-            misses.append((name, module))
+            order = list(design.modules)
+            keys = {
+                name: cache.key(module, grid, policy)
+                for name, module in design.modules.items()
+            }
 
-    jobs = [(module, grid, policy) for _, module in misses]
-    effective_workers = 1
-    if n_workers and n_workers > 1 and len(jobs) > 1:
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(n_workers, len(jobs))
-            ) as pool:
-                # map() preserves job order; each module's implementation
-                # is deterministic, so the assembled result is independent
-                # of the worker count.
-                outcomes = list(pool.map(_implement_one, jobs))
-            effective_workers = min(n_workers, len(jobs))
-        except OSError:  # process pools unavailable (restricted sandboxes)
-            outcomes = [_implement_one(job) for job in jobs]
-    else:
-        outcomes = [_implement_one(job) for job in jobs]
+            hits: dict[str, ImplementedModule] = {}
+            misses: list[tuple[str, RTLModule]] = []
+            for name, module in design.modules.items():
+                impl = cache.get(keys[name])
+                if impl is not None:
+                    hits[name] = impl
+                else:
+                    misses.append((name, module))
+            sp_cache.incr("hits", len(hits))
+            sp_cache.incr("misses", len(misses))
 
-    implemented: dict[str, ImplementedModule] = {}
-    fresh: dict[str, tuple[ImplementedModule, float]] = {}
-    failures: dict[str, ModuleFailure] = {}
-    fail_wall: dict[str, float] = {}
-    for name, impl, reason, attempted, fail_runs, wall in outcomes:
-        if impl is None:
-            failures[name] = ModuleFailure(
-                module=name,
-                reason=reason,
-                attempted_cfs=attempted,
-                n_runs=fail_runs,
-            )
-            fail_wall[name] = wall
-        else:
-            fresh[name] = (impl, wall)
-            cache.put(keys[name], impl)
+        jobs = [(module, grid, policy, want_trace) for _, module in misses]
+        effective_workers = 1
+        with tr.span("preimpl.implement") as sp_impl:
+            if n_workers and n_workers > 1 and len(jobs) > 1:
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=min(n_workers, len(jobs))
+                    ) as pool:
+                        # map() preserves job order; each module's
+                        # implementation is deterministic, so the assembled
+                        # result is independent of the worker count.
+                        outcomes = list(pool.map(_implement_one, jobs))
+                    effective_workers = min(n_workers, len(jobs))
+                except OSError:  # pools unavailable (restricted sandboxes)
+                    outcomes = [_implement_one(job) for job in jobs]
+            else:
+                outcomes = [_implement_one(job) for job in jobs]
+            # Exactly one graft per module, whichever path produced the
+            # outcome (pool, sequential, or the OSError fallback — the
+            # fallback rebuilds `outcomes` wholesale, so nothing attempted
+            # by a partially-failed pool is counted twice).
+            for out in outcomes:
+                tr.graft(out[6])
 
-    per_module: list[ModuleFlowStats] = []
-    for name in order:
-        if name in hits:
-            impl = hits[name]
-            implemented[name] = impl
-            per_module.append(
-                ModuleFlowStats(
+        implemented: dict[str, ImplementedModule] = {}
+        fresh: dict[str, tuple[ImplementedModule, float]] = {}
+        failures: dict[str, ModuleFailure] = {}
+        fail_wall: dict[str, float] = {}
+        for name, impl, reason, attempted, fail_runs, wall, _trace in outcomes:
+            if impl is None:
+                failures[name] = ModuleFailure(
                     module=name,
-                    feasible=True,
-                    cache_hit=True,
-                    n_runs=impl.outcome.n_runs,
-                    new_runs=0,
-                    wall_s=0.0,
-                    cf=impl.outcome.cf,
-                    predicted_cf=impl.outcome.predicted_cf,
+                    reason=reason,
+                    attempted_cfs=attempted,
+                    n_runs=fail_runs,
                 )
-            )
-        elif name in fresh:
-            impl, wall = fresh[name]
-            implemented[name] = impl
-            per_module.append(
-                ModuleFlowStats(
-                    module=name,
-                    feasible=True,
-                    cache_hit=False,
-                    n_runs=impl.outcome.n_runs,
-                    new_runs=impl.outcome.n_runs,
-                    wall_s=wall,
-                    cf=impl.outcome.cf,
-                    predicted_cf=impl.outcome.predicted_cf,
-                )
-            )
-        else:
-            f = failures[name]
-            per_module.append(
-                ModuleFlowStats(
-                    module=name,
-                    feasible=False,
-                    cache_hit=False,
-                    n_runs=f.n_runs,
-                    new_runs=f.n_runs,
-                    wall_s=fail_wall[name],
-                )
-            )
+                fail_wall[name] = wall
+            else:
+                fresh[name] = (impl, wall)
+                cache.put(keys[name], impl)
 
-    stats = FlowStats(
-        modules=tuple(per_module),
-        n_workers=effective_workers,
-        wall_s=time.perf_counter() - t0,
-        cache=CacheStats(
-            mem_hits=cache.stats.mem_hits,
-            disk_hits=cache.stats.disk_hits,
-            misses=cache.stats.misses,
-            stores=cache.stats.stores,
-        ),
-    )
+        per_module: list[ModuleFlowStats] = []
+        for name in order:
+            if name in hits:
+                impl = hits[name]
+                implemented[name] = impl
+                per_module.append(
+                    ModuleFlowStats(
+                        module=name,
+                        feasible=True,
+                        cache_hit=True,
+                        n_runs=impl.outcome.n_runs,
+                        new_runs=0,
+                        wall_s=0.0,
+                        cf=impl.outcome.cf,
+                        predicted_cf=impl.outcome.predicted_cf,
+                    )
+                )
+            elif name in fresh:
+                impl, wall = fresh[name]
+                implemented[name] = impl
+                per_module.append(
+                    ModuleFlowStats(
+                        module=name,
+                        feasible=True,
+                        cache_hit=False,
+                        n_runs=impl.outcome.n_runs,
+                        new_runs=impl.outcome.n_runs,
+                        wall_s=wall,
+                        cf=impl.outcome.cf,
+                        predicted_cf=impl.outcome.predicted_cf,
+                    )
+                )
+            else:
+                f = failures[name]
+                per_module.append(
+                    ModuleFlowStats(
+                        module=name,
+                        feasible=False,
+                        cache_hit=False,
+                        n_runs=f.n_runs,
+                        new_runs=f.n_runs,
+                        wall_s=fail_wall[name],
+                    )
+                )
+
+        stats = FlowStats(
+            modules=tuple(per_module),
+            n_workers=effective_workers,
+            wall_s=sp_root.elapsed(),
+            cache=CacheStats(
+                mem_hits=cache.stats.mem_hits,
+                disk_hits=cache.stats.disk_hits,
+                misses=cache.stats.misses,
+                stores=cache.stats.stores,
+            ),
+        )
+        sp_impl.incr("new_tool_runs", stats.new_tool_runs)
+        sp_root.set_attr("n_workers", effective_workers)
+        sp_root.incr("total_tool_runs", stats.total_tool_runs)
+        sp_root.incr("n_infeasible", stats.n_infeasible)
+        m = tr.metrics
+        m.counter("preimpl.cache.hits").inc(len(hits))
+        m.counter("preimpl.cache.misses").inc(len(misses))
+        m.counter("preimpl.tool_runs.new").inc(stats.new_tool_runs)
+        m.counter("preimpl.tool_runs.total").inc(stats.total_tool_runs)
+        m.gauge("preimpl.n_workers").set(effective_workers)
+        for rec in per_module:
+            if not rec.cache_hit:
+                m.histogram("preimpl.module.wall_s").observe(rec.wall_s)
+
     report = FlowInfeasibleReport(
         failures=tuple(failures[name] for name in order if name in failures)
     )

@@ -22,17 +22,29 @@ from typing import Sequence
 from repro.device.grid import DeviceGrid
 from repro.flow.blockdesign import BlockDesign
 from repro.flow.stitcher import SAParams, StitchResult, stitch
+from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.place.shapes import Footprint
 
 __all__ = ["stitch_best"]
 
 
 def _run_one(
-    args: tuple[BlockDesign, dict[str, Footprint], DeviceGrid, SAParams, str],
-) -> StitchResult:
-    """Worker entry point (module-level so it pickles)."""
-    design, footprints, grid, params, kernel = args
-    return stitch(design, footprints, grid, params, kernel=kernel)
+    args: tuple[
+        BlockDesign, dict[str, Footprint], DeviceGrid, SAParams, str, bool
+    ],
+) -> tuple[StitchResult, dict | None]:
+    """Worker entry point (module-level so it pickles).
+
+    When ``want_trace`` is set the seed's ``stitch`` span tree is
+    recorded into a worker-local tracer and returned alongside the
+    result, so the parent can graft every restart's phase breakdown into
+    its own trace exactly once regardless of worker count.
+    """
+    design, footprints, grid, params, kernel, want_trace = args
+    tr = Tracer() if want_trace else None
+    result = stitch(design, footprints, grid, params, kernel=kernel, tracer=tr)
+    trace = tr.roots[0].to_json_dict() if tr else None
+    return result, trace
 
 
 def stitch_best(
@@ -45,6 +57,7 @@ def stitch_best(
     n_workers: int | None = None,
     seeds: Sequence[int] | None = None,
     kernel: str = "fast",
+    tracer: Tracer | NullTracer | None = None,
 ) -> StitchResult:
     """Anneal several independent seeds and return the best run.
 
@@ -63,6 +76,12 @@ def stitch_best(
         Explicit seed list, overriding ``n_seeds``.
     kernel:
         Move-kernel choice, forwarded to :func:`stitch`.
+    tracer:
+        Where the ``stitch.restarts`` span is recorded, with one child
+        ``stitch`` span per seed (merged back from the workers when the
+        seeds fan out); defaults to the ambient tracer.  With tracing
+        disabled each seed records into the private tracer
+        :func:`stitch` builds for its own :class:`StitchStats`.
 
     Returns
     -------
@@ -81,23 +100,34 @@ def stitch_best(
         if not seeds:
             raise ValueError("seeds must not be empty")
 
-    jobs = [
-        (design, footprints, grid, replace(params, seed=s), kernel) for s in seeds
-    ]
-    if n_workers is None or n_workers <= 1 or len(jobs) == 1:
-        results = [_run_one(job) for job in jobs]
-    else:
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(n_workers, len(jobs))
-            ) as pool:
-                # map() preserves seed order, which the tiebreak relies on.
-                results = list(pool.map(_run_one, jobs))
-        except OSError:  # process pools unavailable (restricted sandboxes)
-            results = [_run_one(job) for job in jobs]
+    ambient = tracer if tracer is not None else current_tracer()
+    want_trace = ambient.enabled
 
-    best = results[0]
-    for res in results[1:]:
-        if res.final_cost < best.final_cost:
-            best = res
+    jobs = [
+        (design, footprints, grid, replace(params, seed=s), kernel, want_trace)
+        for s in seeds
+    ]
+    with ambient.span("stitch.restarts", n_seeds=len(seeds)) as sp:
+        if n_workers is None or n_workers <= 1 or len(jobs) == 1:
+            outcomes = [_run_one(job) for job in jobs]
+        else:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(n_workers, len(jobs))
+                ) as pool:
+                    # map() preserves seed order, which the tiebreak relies on.
+                    outcomes = list(pool.map(_run_one, jobs))
+            except OSError:  # process pools unavailable (restricted sandboxes)
+                outcomes = [_run_one(job) for job in jobs]
+        if want_trace:
+            for _result, trace in outcomes:
+                ambient.graft(trace)
+
+        results = [result for result, _trace in outcomes]
+        best = results[0]
+        for res in results[1:]:
+            if res.final_cost < best.final_cost:
+                best = res
+        sp.set_attr("winner_seed", best.stats.seed if best.stats else None)
+        sp.set_attr("best_cost", best.final_cost)
     return best

@@ -28,6 +28,7 @@ from repro.flow.preimpl import (
 )
 from repro.flow.restarts import stitch_best
 from repro.flow.stitcher import SAParams, StitchResult, stitch
+from repro.obs.tracer import NullTracer, Tracer, current_tracer
 
 __all__ = ["RWFlowResult", "run_rw_flow"]
 
@@ -92,6 +93,7 @@ def run_rw_flow(
     preimpl_workers: int | None = None,
     cache: ModuleCache | None = None,
     cache_dir: str | None = None,
+    tracer: Tracer | NullTracer | None = None,
 ) -> RWFlowResult:
     """Compile ``design`` with pre-implemented blocks.
 
@@ -124,55 +126,70 @@ def run_rw_flow(
         tool runs for unchanged modules.
     cache_dir:
         Disk-persistent cache root when ``cache`` is not given.
+    tracer:
+        Where the flow's span tree is recorded: a ``flow`` root whose
+        children are the pre-implementation's ``preimpl`` span and the
+        stitching's ``stitch`` (or ``stitch.restarts``) span.  Defaults
+        to the ambient tracer; a disabled tracer makes every flow-level
+        span a no-op while the nested stages keep deriving their stats
+        from private traces.
     """
-    pre = implement_design(
-        design,
-        grid,
-        policy,
-        n_workers=preimpl_workers,
-        cache=cache,
-        cache_dir=cache_dir,
-    )
-    footprints = {
-        name: impl.outcome.result.footprint
-        for name, impl in pre.items()
-        if impl.outcome.result.footprint is not None
-    }
-    target = stitch_grid or grid
-
-    missing = [i for i in design.instances if i.module not in footprints]
-    stitchable = design if not missing else design.subset(set(footprints))
-    if stitchable.instances:
-        if n_seeds > 1:
-            result = stitch_best(
-                stitchable, footprints, target, sa_params,
-                n_seeds=n_seeds, n_workers=n_workers, kernel=kernel,
-            )
-        else:
-            result = stitch(
-                stitchable, footprints, target, sa_params, kernel=kernel
-            )
-    else:  # nothing placeable: synthesize an empty stitching outcome
-        result = StitchResult(
-            placements={},
-            n_placed=0,
-            n_unplaced=0,
-            wirelength=0.0,
-            final_cost=0.0,
-            iterations=0,
-            converged_at=0,
-            illegal_moves=0,
+    ambient = tracer if tracer is not None else current_tracer()
+    with ambient.span("flow", design=design.name, grid=grid.name) as sp:
+        pre = implement_design(
+            design,
+            grid,
+            policy,
+            n_workers=preimpl_workers,
+            cache=cache,
+            cache_dir=cache_dir,
+            tracer=ambient,
         )
-    if missing:
-        placements = dict(result.placements)
-        placements.update({i.name: None for i in missing})
-        result = replace(
-            result,
-            placements=placements,
-            n_unplaced=result.n_unplaced + len(missing),
-        )
+        footprints = {
+            name: impl.outcome.result.footprint
+            for name, impl in pre.items()
+            if impl.outcome.result.footprint is not None
+        }
+        target = stitch_grid or grid
 
-    runs = pre.stats.total_tool_runs
+        missing = [i for i in design.instances if i.module not in footprints]
+        stitchable = design if not missing else design.subset(set(footprints))
+        if stitchable.instances:
+            if n_seeds > 1:
+                result = stitch_best(
+                    stitchable, footprints, target, sa_params,
+                    n_seeds=n_seeds, n_workers=n_workers, kernel=kernel,
+                    tracer=ambient,
+                )
+            else:
+                result = stitch(
+                    stitchable, footprints, target, sa_params, kernel=kernel,
+                    tracer=ambient,
+                )
+        else:  # nothing placeable: synthesize an empty stitching outcome
+            result = StitchResult(
+                placements={},
+                n_placed=0,
+                n_unplaced=0,
+                wirelength=0.0,
+                final_cost=0.0,
+                iterations=0,
+                converged_at=0,
+                illegal_moves=0,
+            )
+        if missing:
+            placements = dict(result.placements)
+            placements.update({i.name: None for i in missing})
+            result = replace(
+                result,
+                placements=placements,
+                n_unplaced=result.n_unplaced + len(missing),
+            )
+
+        runs = pre.stats.total_tool_runs
+        sp.incr("total_tool_runs", runs)
+        sp.set_attr("n_placed", result.n_placed)
+        sp.set_attr("n_unplaced", result.n_unplaced)
     return RWFlowResult(
         implemented=dict(pre.modules),
         stitch=result,

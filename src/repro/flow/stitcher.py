@@ -36,7 +36,6 @@ approximate.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -44,6 +43,7 @@ import numpy as np
 from repro.device.column import ColumnKind
 from repro.device.grid import DeviceGrid
 from repro.flow.blockdesign import BlockDesign
+from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.place.shapes import Footprint
 
 __all__ = ["KERNELS", "SAParams", "StitchResult", "StitchStats", "stitch"]
@@ -77,10 +77,16 @@ class SAParams:
 class StitchStats:
     """Instrumentation of one stitching run.
 
-    Timings are wall-clock seconds per phase; counters split the move
-    mix into attempts and acceptances.  All counters are deterministic
-    for a fixed seed; the timings are not, so the whole object is
-    excluded from :class:`StitchResult` equality.
+    A thin view over the run's trace: each timing is the duration of the
+    matching ``stitch.*`` span (monotonic, :func:`time.perf_counter`
+    based), and the four phases *tile* the run — ``fill_s`` includes the
+    post-anneal finalization (deterministic fill, convergence scan,
+    final cost/occupancy extraction), so ``total_s`` equals the wall
+    time of the whole :func:`stitch` call.  Counters split the move mix
+    into attempts and acceptances and mirror the ``stitch.anneal``
+    span's counters.  All counters are deterministic for a fixed seed;
+    the timings are not, so the whole object is excluded from
+    :class:`StitchResult` equality.
     """
 
     kernel: str
@@ -693,6 +699,7 @@ def stitch(
     params: SAParams | None = None,
     *,
     kernel: str = "fast",
+    tracer: Tracer | NullTracer | None = None,
 ) -> StitchResult:
     """Place all instances of ``design`` on ``grid``.
 
@@ -711,6 +718,12 @@ def stitch(
         ``"fast"`` (bitmask occupancy, cached centers, vectorized sums)
         or ``"reference"`` (the straightforward implementation).  Both
         produce identical results for a fixed seed.
+    tracer:
+        Where the run's ``stitch`` span tree is recorded; defaults to
+        the ambient tracer.  When the ambient tracer is disabled the run
+        records into a private throwaway tracer — :class:`StitchStats`
+        is a view over those spans, so the timing cost is identical
+        either way (a handful of phase-boundary clock reads).
 
     Returns
     -------
@@ -718,103 +731,141 @@ def stitch(
         Placement, cost and convergence metrics, plus :class:`StitchStats`
         instrumentation.
     """
-    t_start = time.perf_counter()
     params = params or SAParams()
     if kernel not in _KERNELS:
         raise ValueError(f"unknown kernel {kernel!r}; choose from {KERNELS}")
-    design.validate()
-    missing = {i.module for i in design.instances} - set(footprints)
-    if missing:
-        raise KeyError(f"missing footprints for modules: {sorted(missing)}")
+    ambient = tracer if tracer is not None else current_tracer()
+    tr = ambient if ambient.enabled else Tracer()
 
-    names = [i.name for i in design.instances]
-    index = {n: k for k, n in enumerate(names)}
-    fps = [footprints[i.module].trimmed() for i in design.instances]
-    edges = [(index[e.src], index[e.dst], e.width) for e in design.edges]
+    # The four phase spans tile the root span: every statement between
+    # root entry and exit lives inside exactly one phase, so the phase
+    # durations sum to the run's wall time (pinned by
+    # tests/test_stitcher.py::test_phase_timings_tile_wall_time).
+    with tr.span("stitch", kernel=kernel, seed=params.seed) as sp_root:
+        with tr.span("stitch.setup") as sp_setup:
+            design.validate()
+            missing = {i.module for i in design.instances} - set(footprints)
+            if missing:
+                raise KeyError(
+                    f"missing footprints for modules: {sorted(missing)}"
+                )
 
-    st = _KERNELS[kernel](grid, names, fps, edges, params)
-    t_setup = time.perf_counter()
-    st.greedy_initial()
-    t_initial = time.perf_counter()
+            names = [i.name for i in design.instances]
+            index = {n: k for k, n in enumerate(names)}
+            fps = [footprints[i.module].trimmed() for i in design.instances]
+            edges = [
+                (index[e.src], index[e.dst], e.width) for e in design.edges
+            ]
+            st = _KERNELS[kernel](grid, names, fps, edges, params)
+            # Same-module groups for swap moves.
+            groups: dict[str, list[int]] = {}
+            for k, inst in enumerate(design.instances):
+                groups.setdefault(inst.module, []).append(k)
+            swappable = [g for g in groups.values() if len(g) > 1]
 
-    # Same-module groups for swap moves.
-    groups: dict[str, list[int]] = {}
-    for k, inst in enumerate(design.instances):
-        groups.setdefault(inst.module, []).append(k)
-    swappable = [g for g in groups.values() if len(g) > 1]
+        with tr.span("stitch.initial") as sp_initial:
+            st.greedy_initial()
+            cost = st.total_cost()
+            best = cost
+            improvements: list[tuple[int, float]] = [(0, best)]
+            last_improve = 0
+            # Initial temperature: accept ~half of typical uphill deltas.
+            temp = max(1.0, 0.05 * cost / max(1, len(edges)))
+            u = _UniformBuffer(
+                np.random.default_rng(params.seed),
+                block=max(256, min(8192, 4 * params.steps_per_temp)),
+            )
+            # Placed/unplaced membership only changes on successful place
+            # moves, so the candidate lists are maintained incrementally.
+            placed_list = [i for i in range(st.n) if st.pos[i] is not None]
+            unplaced_list = [i for i in range(st.n) if st.pos[i] is None]
 
-    cost = st.total_cost()
-    best = cost
-    improvements: list[tuple[int, float]] = [(0, best)]
-    last_improve = 0
-    # Initial temperature: accept ~half of typical uphill deltas.
-    temp = max(1.0, 0.05 * cost / max(1, len(edges)))
+        with tr.span("stitch.anneal") as sp_anneal:
+            temp_trace: list[tuple[int, float]] = []
+            it = 0
+            while it < params.max_iters:
+                for _ in range(params.steps_per_temp):
+                    it += 1
+                    r = u.next()
+                    if unplaced_list and r < params.p_place:
+                        k = u.index(len(unplaced_list))
+                        i = unplaced_list[k]
+                        cost += st.try_place(i, u)
+                        if st.pos[i] is not None:
+                            unplaced_list[k] = unplaced_list[-1]
+                            unplaced_list.pop()
+                            placed_list.append(i)
+                    elif swappable and r < params.p_place + params.p_swap:
+                        g = swappable[u.index(len(swappable))]
+                        i = u.index(len(g))
+                        j = u.index(len(g) - 1)
+                        if j >= i:
+                            j += 1
+                        cost += st.try_swap(g[i], g[j], temp, u)
+                    else:
+                        if not placed_list:
+                            continue
+                        i = placed_list[u.index(len(placed_list))]
+                        cost += st.try_move(i, temp, u)
+                    if cost < best - 1e-9:
+                        best = cost
+                        improvements.append((it, best))
+                        last_improve = it
+                    if it >= params.max_iters:
+                        break
+                temp_trace.append((it, temp))
+                temp *= params.alpha
+                if it - last_improve > params.patience:
+                    break
 
-    u = _UniformBuffer(
-        np.random.default_rng(params.seed),
-        block=max(256, min(8192, 4 * params.steps_per_temp)),
-    )
-    temp_trace: list[tuple[int, float]] = []
-    it = 0
-    # Placed/unplaced membership only changes on successful place moves,
-    # so the candidate lists are maintained incrementally.
-    placed_list = [i for i in range(st.n) if st.pos[i] is not None]
-    unplaced_list = [i for i in range(st.n) if st.pos[i] is None]
-    while it < params.max_iters:
-        for _ in range(params.steps_per_temp):
-            it += 1
-            r = u.next()
-            if unplaced_list and r < params.p_place:
-                k = u.index(len(unplaced_list))
-                i = unplaced_list[k]
-                cost += st.try_place(i, u)
-                if st.pos[i] is not None:
-                    unplaced_list[k] = unplaced_list[-1]
-                    unplaced_list.pop()
-                    placed_list.append(i)
-            elif swappable and r < params.p_place + params.p_swap:
-                g = swappable[u.index(len(swappable))]
-                i = u.index(len(g))
-                j = u.index(len(g) - 1)
-                if j >= i:
-                    j += 1
-                cost += st.try_swap(g[i], g[j], temp, u)
-            else:
-                if not placed_list:
-                    continue
-                i = placed_list[u.index(len(placed_list))]
-                cost += st.try_move(i, temp, u)
-            if cost < best - 1e-9:
-                best = cost
-                improvements.append((it, best))
-                last_improve = it
-            if it >= params.max_iters:
-                break
-        temp_trace.append((it, temp))
-        temp *= params.alpha
-        if it - last_improve > params.patience:
-            break
-    t_anneal = time.perf_counter()
+        with tr.span("stitch.fill") as sp_fill:
+            st.first_fit_fill()
+            # Finalization is charged to the fill phase so the phases
+            # keep tiling the run: the convergence scan and the final
+            # cost/occupancy extraction used to fall outside every
+            # phase, making the recorded phases sum short of the wall
+            # time.  Convergence point: the first iteration whose best
+            # cost is within 1% of the total descent from the final
+            # cost.
+            initial_cost = improvements[0][1]
+            final_best = improvements[-1][1]
+            threshold = final_best + 0.01 * max(0.0, initial_cost - final_best)
+            converged_at = next(
+                (it_ for it_, c in improvements if c <= threshold),
+                improvements[-1][0],
+            )
+            wirelength = st.wirelength()
+            final_cost = st.total_cost()
+            occupancy = st.occupancy_array()
+            placements = {names[i]: st.pos[i] for i in range(st.n)}
+            n_placed = sum(1 for p in st.pos if p is not None)
 
-    st.first_fit_fill()
-    t_fill = time.perf_counter()
-
-    # Convergence point: the first iteration whose best cost is within 1%
-    # of the total descent from the final cost.
-    initial_cost = improvements[0][1]
-    final_best = improvements[-1][1]
-    threshold = final_best + 0.01 * max(0.0, initial_cost - final_best)
-    converged_at = next(
-        (it_ for it_, c in improvements if c <= threshold), improvements[-1][0]
-    )
+        # Move-mix counters mirror StitchStats exactly; attrs record the
+        # run's deterministic outcome for `repro trace summarize`.
+        sp_anneal.incr("iterations", it)
+        sp_anneal.incr("move_attempts", st.move_attempts)
+        sp_anneal.incr("place_attempts", st.place_attempts)
+        sp_anneal.incr("swap_attempts", st.swap_attempts)
+        sp_anneal.incr("move_accepts", st.move_accepts)
+        sp_anneal.incr("place_accepts", st.place_accepts)
+        sp_anneal.incr("swap_accepts", st.swap_accepts)
+        sp_anneal.incr("illegal_moves", st.illegal)
+        sp_initial.incr("n_placed_initial", len(placed_list))
+        sp_setup.incr("n_instances", st.n)
+        sp_setup.incr("n_edges", len(edges))
+        sp_fill.incr("n_placed", n_placed)
+        sp_root.set_attr("n_placed", n_placed)
+        sp_root.set_attr("n_unplaced", st.n - n_placed)
+        sp_root.set_attr("final_cost", final_cost)
+        sp_root.set_attr("converged_at", converged_at)
 
     stats = StitchStats(
         kernel=kernel,
         seed=params.seed,
-        setup_s=t_setup - t_start,
-        initial_s=t_initial - t_setup,
-        anneal_s=t_anneal - t_initial,
-        fill_s=t_fill - t_anneal,
+        setup_s=sp_setup.dur_s,
+        initial_s=sp_initial.dur_s,
+        anneal_s=sp_anneal.dur_s,
+        fill_s=sp_fill.dur_s,
         move_attempts=st.move_attempts,
         place_attempts=st.place_attempts,
         swap_attempts=st.swap_attempts,
@@ -824,18 +875,16 @@ def stitch(
         illegal_moves=st.illegal,
         temperature_trace=tuple(temp_trace),
     )
-    placements = {names[i]: st.pos[i] for i in range(st.n)}
-    n_placed = sum(1 for p in st.pos if p is not None)
     return StitchResult(
         placements=placements,
         n_placed=n_placed,
         n_unplaced=st.n - n_placed,
-        wirelength=st.wirelength(),
-        final_cost=st.total_cost(),
+        wirelength=wirelength,
+        final_cost=final_cost,
         iterations=it,
         converged_at=converged_at,
         illegal_moves=st.illegal,
         history=tuple(improvements),
-        occupancy=st.occupancy_array(),
+        occupancy=occupancy,
         stats=stats,
     )

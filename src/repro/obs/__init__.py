@@ -1,0 +1,46 @@
+"""Observability: tracing spans, metrics and trace export.
+
+* :mod:`repro.obs.tracer` — :class:`Tracer` with nestable ``span()``
+  context managers (monotonic timings, per-span counters/attributes),
+  the ambient-tracer plumbing and the no-op :data:`NULL_TRACER`;
+* :mod:`repro.obs.metrics` — the counter/gauge/histogram registry;
+* :mod:`repro.obs.export` — JSON/JSONL persistence and the rendered
+  per-stage breakdown table (``repro trace summarize``).
+
+The flow's hot paths (``stitch``, ``implement_design``,
+``generate_dataset``, ``DSEExplorer.evaluate``, ``run_rw_flow``) record
+spans into the ambient tracer when one is installed (``use_tracer`` or
+the CLI's ``--trace-out`` / ``--profile`` flags) and derive their legacy
+stats objects (``StitchStats``, ``FlowStats``, ``GenerationReport``)
+from the same spans, so there is exactly one timing source.
+"""
+
+from repro.obs.export import load_trace, save_trace, summarize_trace, trace_document
+from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "load_trace",
+    "save_trace",
+    "set_tracer",
+    "summarize_trace",
+    "trace_document",
+    "use_tracer",
+]

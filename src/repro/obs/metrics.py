@@ -1,0 +1,137 @@
+"""Metrics registry: counters, gauges and histograms.
+
+Spans (:mod:`repro.obs.tracer`) answer "where did the time go"; the
+:class:`Metrics` registry answers "how much of X happened" for
+quantities that are not tied to one span — cache hit totals across a
+whole run, worker counts, per-module wall-time distributions.  The
+registry is deliberately tiny: names map to one of three instrument
+kinds, and everything exports to plain JSON alongside the span tree.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Counter", "Gauge", "Histogram", "Metrics"]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be >= 0: counters only go up)."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (n={n})")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observations (count/sum/min/max).
+
+    Keeps O(1) state — enough for the mean and range the breakdown
+    tables report — rather than raw samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_json_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class Metrics:
+    """Name-keyed instrument registry.
+
+    ``counter`` / ``gauge`` / ``histogram`` create on first use and
+    return the existing instrument afterwards; asking for one name with
+    two different kinds is an error.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type) -> Counter | Gauge | Histogram:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = kind(name)
+            self._instruments[name] = inst
+        elif type(inst) is not kind:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {kind.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)  # type: ignore[return-value]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    # ------------------------------------------------------------- export
+
+    def to_json_dict(self) -> dict:
+        """``{"counters": {...}, "gauges": {...}, "histograms": {...}}``."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Counter):
+                out["counters"][name] = inst.value
+            elif isinstance(inst, Gauge):
+                out["gauges"][name] = inst.value
+            else:
+                out["histograms"][name] = inst.to_json_dict()
+        return out

@@ -1,0 +1,275 @@
+"""Unit tests for the observability subsystem (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    load_trace,
+    save_trace,
+    summarize_trace,
+    trace_document,
+)
+from repro.obs.metrics import Metrics
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+class TestSpan:
+    def test_nesting_follows_open_span(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                with tr.span("leaf"):
+                    pass
+            with tr.span("sibling"):
+                pass
+        assert len(tr.roots) == 1
+        outer = tr.roots[0]
+        assert [c.name for c in outer.children] == ["inner", "sibling"]
+        assert [c.name for c in outer.children[0].children] == ["leaf"]
+
+    def test_durations_monotonic_and_contained(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        outer = tr.roots[0]
+        inner = outer.children[0]
+        assert outer.dur_s >= inner.dur_s >= 0.0
+
+    def test_counters_accumulate(self):
+        tr = Tracer()
+        with tr.span("s") as sp:
+            sp.incr("hits")
+            sp.incr("hits", 4)
+            sp.incr("misses", 0)
+        assert sp.counters == {"hits": 5, "misses": 0}
+
+    def test_attrs_via_span_kwargs_and_set_attr(self):
+        tr = Tracer()
+        with tr.span("s", kernel="fast") as sp:
+            sp.set_attr("seed", 3)
+        assert sp.attrs == {"kernel": "fast", "seed": 3}
+
+    def test_elapsed_while_open_then_frozen(self):
+        tr = Tracer()
+        with tr.span("s") as sp:
+            mid = sp.elapsed()
+            assert mid >= 0.0
+        assert sp.elapsed() == sp.dur_s
+
+    def test_walk_find_find_all(self):
+        tr = Tracer()
+        with tr.span("root"):
+            with tr.span("leaf"):
+                pass
+            with tr.span("leaf"):
+                pass
+        root = tr.roots[0]
+        names = [s.name for _d, s in root.walk()]
+        assert names == ["root", "leaf", "leaf"]
+        assert tr.find("leaf") is root.children[0]
+        assert len(tr.find_all("leaf")) == 2
+        assert tr.find("missing") is None
+
+    def test_json_round_trip(self):
+        tr = Tracer()
+        with tr.span("root", kernel="fast") as sp:
+            sp.incr("n", 7)
+            with tr.span("child"):
+                pass
+        data = tr.roots[0].to_json_dict()
+        back = Span.from_json_dict(data)
+        assert back.name == "root"
+        assert back.attrs == {"kernel": "fast"}
+        assert back.counters == {"n": 7}
+        assert [c.name for c in back.children] == ["child"]
+        assert back.to_json_dict() == data
+
+
+class TestTracer:
+    def test_graft_under_open_span(self):
+        worker = Tracer()
+        with worker.span("work") as sp:
+            sp.incr("n_runs", 2)
+        parent = Tracer()
+        with parent.span("root"):
+            parent.graft(worker.roots[0].to_json_dict())
+        grafted = parent.roots[0].children[0]
+        assert grafted.name == "work"
+        assert grafted.counters == {"n_runs": 2}
+
+    def test_graft_without_open_span_becomes_root(self):
+        parent = Tracer()
+        parent.graft({"name": "orphan", "dur_s": 0.1})
+        assert [r.name for r in parent.roots] == ["orphan"]
+
+    def test_graft_none_is_ignored(self):
+        parent = Tracer()
+        parent.graft(None)
+        assert parent.roots == []
+
+    def test_to_json_dict_schema(self):
+        tr = Tracer()
+        with tr.span("a"):
+            pass
+        tr.metrics.counter("c").inc(3)
+        doc = tr.to_json_dict()
+        assert doc["version"] == 1
+        assert [s["name"] for s in doc["spans"]] == ["a"]
+        assert doc["metrics"]["counters"] == {"c": 3}
+
+    def test_exception_still_closes_span(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("boom"):
+                raise RuntimeError("x")
+        assert tr.roots[0].dur_s >= 0.0
+        assert tr._stack == []
+
+
+class TestNullTracer:
+    def test_disabled_and_shared_noop_span(self):
+        assert NULL_TRACER.enabled is False
+        s1 = NULL_TRACER.span("a", k=1)
+        s2 = NULL_TRACER.span("b")
+        assert s1 is s2  # one shared instance: no allocation per span
+        with s1 as sp:
+            sp.incr("n")
+            sp.set_attr("k", 2)
+            assert sp.elapsed() == 0.0
+        NULL_TRACER.graft({"name": "x"})  # swallowed
+
+    def test_fresh_null_tracer_is_disabled(self):
+        assert NullTracer().enabled is False
+
+
+class TestAmbient:
+    def test_default_is_null(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_scopes_and_restores(self):
+        tr = Tracer()
+        with use_tracer(tr) as active:
+            assert active is tr
+            assert current_tracer() is tr
+        assert current_tracer() is NULL_TRACER
+
+    def test_set_tracer_returns_previous(self):
+        tr = Tracer()
+        prev = set_tracer(tr)
+        try:
+            assert current_tracer() is tr
+        finally:
+            set_tracer(prev)
+        assert current_tracer() is prev
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        m = Metrics()
+        m.counter("c").inc()
+        m.counter("c").inc(2)
+        m.gauge("g").set(4.5)
+        h = m.histogram("h")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert m.counter("c").value == 3
+        assert m.gauge("g").value == 4.5
+        assert h.count == 3 and h.min == 1.0 and h.max == 3.0
+        assert h.mean == pytest.approx(2.0)
+        assert len(m) == 3 and "c" in m and "zzz" not in m
+
+    def test_counter_cannot_decrease(self):
+        m = Metrics()
+        with pytest.raises(ValueError):
+            m.counter("c").inc(-1)
+
+    def test_kind_conflict_raises(self):
+        m = Metrics()
+        m.counter("x")
+        with pytest.raises(TypeError):
+            m.gauge("x")
+
+    def test_to_json_dict(self):
+        m = Metrics()
+        m.counter("c").inc(2)
+        m.gauge("g").set(1.0)
+        m.histogram("h").observe(0.5)
+        doc = m.to_json_dict()
+        assert doc["counters"] == {"c": 2}
+        assert doc["gauges"] == {"g": 1.0}
+        assert doc["histograms"]["h"]["count"] == 1
+        assert doc["histograms"]["h"]["mean"] == 0.5
+
+    def test_empty_histogram_exports_zeros(self):
+        m = Metrics()
+        doc = m.histogram("h").to_json_dict()
+        assert doc == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+
+
+def _sample_tracer() -> Tracer:
+    tr = Tracer()
+    with tr.span("root", kernel="fast") as sp:
+        sp.incr("iterations", 100)
+        with tr.span("root.child"):
+            pass
+        with tr.span("root.child"):
+            pass
+    tr.metrics.counter("tool_runs").inc(7)
+    tr.metrics.gauge("workers").set(2)
+    tr.metrics.histogram("wall").observe(0.25)
+    return tr
+
+
+class TestExport:
+    def test_trace_document_passthrough_and_null(self):
+        doc = {"version": 1, "spans": [], "metrics": {}}
+        assert trace_document(doc) is doc
+        assert trace_document(NULL_TRACER)["spans"] == []
+
+    def test_json_round_trip(self, tmp_path):
+        tr = _sample_tracer()
+        path = save_trace(tr, tmp_path / "t.json")
+        doc = load_trace(path)
+        assert doc == tr.to_json_dict()
+        # plain JSON on disk
+        raw = json.loads(path.read_text())
+        assert raw["version"] == 1
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tr = _sample_tracer()
+        path = save_trace(tr, tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["metrics"]["counters"] == {"tool_runs": 7}
+        # one flat record per span, depth-annotated
+        depths = [json.loads(line)["depth"] for line in lines[1:]]
+        assert depths == [0, 1, 1]
+        assert load_trace(path) == tr.to_json_dict()
+
+    def test_jsonl_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert load_trace(path) == {"version": 1, "spans": [], "metrics": {}}
+
+    def test_summarize_renders_spans_and_metrics(self):
+        text = summarize_trace(_sample_tracer())
+        assert "Trace breakdown" in text
+        assert "root" in text and "root.child" in text
+        assert "100.0" in text  # root is 100% of itself
+        assert "iterations=100" in text
+        assert "tool_runs" in text and "workers" in text and "wall" in text
+
+    def test_summarize_indents_children(self):
+        text = summarize_trace(_sample_tracer())
+        lines = [line for line in text.splitlines() if "root.child" in line]
+        assert lines and all(line.startswith("  root.child") for line in lines)
