@@ -13,7 +13,6 @@ from repro.cnv.tfc import tfc_design
 from repro.flow.policy import FixedCF, MinimalCFPolicy
 from repro.flow.preimpl import implement_design
 from repro.flow.rwflow import run_rw_flow
-from repro.flow.stitcher import SAParams
 from repro.utils.tables import Table
 
 

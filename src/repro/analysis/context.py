@@ -109,7 +109,7 @@ class ExperimentContext:
 
         def _build() -> list[ModuleRecord]:
             records = []
-            for name, stats in cnv_module_stats().items():
+            for _name, stats in cnv_module_stats().items():
                 report = quick_place(stats)
                 found = minimal_cf(
                     stats, self.z020, search_down=True, report=report

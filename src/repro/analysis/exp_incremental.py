@@ -105,7 +105,7 @@ def run_incremental_study(
     # Pre-implement the base design once — this is the cache.
     cache: dict[str, ImplementedModule] = {}
     full_effort = 0
-    for name, mod in changed.modules.items():
+    for name, _mod in changed.modules.items():
         if name != module:
             # Unchanged modules: the cached implementation of the base
             # design is reused verbatim.

@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.analysis.context import ExperimentContext
 from repro.dataset.balance import balance_dataset
 from repro.dataset.generate import generate_dataset

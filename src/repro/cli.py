@@ -11,6 +11,7 @@ Usage::
     python -m repro stitch design.json --cf 1.5 --restarts 4  # place a design
     python -m repro stitch design.json --profile --trace-out trace.json
     python -m repro trace summarize trace.json  # render a saved trace
+    python -m repro lint src benchmarks --format github  # static analysis
     python -m repro report [-n 2000] [-o EXPERIMENTS.md]  # all experiments
 """
 
@@ -150,6 +151,36 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the ASCII occupancy map")
     _add_trace_args(p_st)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="determinism & parallel-safety static analysis",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    p_lint.add_argument(
+        "--select", default=None, metavar="IDS",
+        help="comma-separated rule ids or family prefixes to run "
+        "(e.g. DET003 or DET,PAR)",
+    )
+    p_lint.add_argument(
+        "--ignore", default=None, metavar="IDS",
+        help="comma-separated rule ids or family prefixes to skip",
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json", "github"], default="text",
+        dest="fmt", help="report format",
+    )
+    p_lint.add_argument(
+        "--statistics", nargs="?", const="-", default=None, metavar="PATH",
+        help="print the per-rule count table, or write it as JSON to PATH",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule pack and exit",
+    )
+
     p_trace = sub.add_parser("trace", help="inspect a saved span trace")
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
     p_tsum = trace_sub.add_parser(
@@ -260,8 +291,6 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    import numpy as np
-
     from repro.dataset.io import load_dataset_arrays
     from repro.estimator.cf_estimator import CFEstimator
     from repro.ml.metrics import mean_relative_error
@@ -374,6 +403,27 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import lint_paths, render, render_rule_table, render_statistics
+    from repro.lint.report import statistics_json
+
+    if args.list_rules:
+        print(render_rule_table())
+        return 0
+    def split(s: str | None) -> list[str] | None:
+        return [p.strip() for p in s.split(",") if p.strip()] if s else None
+
+    result = lint_paths(args.paths, select=split(args.select),
+                        ignore=split(args.ignore))
+    print(render(result, args.fmt))
+    if args.statistics == "-":
+        print(render_statistics(result))
+    elif args.statistics:
+        Path(args.statistics).write_text(statistics_json(result) + "\n")
+        print(f"statistics written to {args.statistics}")
+    return 0 if result.ok else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.export import load_trace, summarize_trace
 
@@ -407,6 +457,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "preimpl": _cmd_preimpl,
     "stitch": _cmd_stitch,
+    "lint": _cmd_lint,
     "trace": _cmd_trace,
     "report": _cmd_report,
 }

@@ -178,13 +178,13 @@ class DatasetCache:
         """Entries currently persisted on disk (0 for in-memory caches)."""
         if self.cache_dir is None or not self.cache_dir.is_dir():
             return 0
-        return sum(1 for _ in self.cache_dir.glob("*.pkl"))
+        return sum(1 for _ in self.cache_dir.glob("*.pkl"))  # repro: noqa[DET005] order-free count of entries
 
     def clear(self, *, disk: bool = False) -> None:
         """Drop the in-memory layer; also the disk layer when ``disk``."""
         self._mem.clear()
         if disk and self.cache_dir is not None and self.cache_dir.is_dir():
-            for path in self.cache_dir.glob("*.pkl"):
+            for path in self.cache_dir.glob("*.pkl"):  # repro: noqa[DET005] unconditional delete of every entry; order is irrelevant
                 try:
                     path.unlink()
                 except OSError:

@@ -630,7 +630,7 @@ class _FastKernel(_KernelBase):
             return None
         bad = 0
         cm = self.colmask
-        for c, m, h in self.masks[i]:
+        for c, _m, h in self.masks[i]:
             col = cm[x + c]
             if col:
                 bad |= _dilate_down(col, h)

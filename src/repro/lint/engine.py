@@ -1,0 +1,255 @@
+"""The lint engine: file discovery, rule execution, suppression filtering.
+
+:func:`lint_source` checks one in-memory module; :func:`lint_paths`
+recursively checks files and directories and aggregates a
+:class:`LintResult`.  The engine owns three diagnostics of its own,
+reported alongside rule findings:
+
+* ``LNT001`` — the file failed to parse (nothing else can be checked);
+* ``SUP001`` — a malformed / reason-less ``# repro: noqa`` marker;
+* ``SUP002`` — a well-formed suppression that silenced nothing.
+
+Rule selection accepts exact ids (``DET003``) or family prefixes
+(``DET``); ``ignore`` wins over ``select``.  ``SUP``/``LNT``
+diagnostics follow the same filters but are enabled by default.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.context import ModuleContext
+from repro.lint.rules import (
+    PARSE_ERROR_RULE_ID,
+    SUPPRESSION_RULE_ID,
+    UNUSED_SUPPRESSION_RULE_ID,
+    Rule,
+    Violation,
+    all_rules,
+)
+from repro.lint.suppressions import scan_suppressions
+
+__all__ = ["LintResult", "lint_paths", "lint_source", "iter_python_files"]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    #: Violations silenced by valid suppressions (kept for statistics).
+    suppressed: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the run found nothing."""
+        return not self.violations
+
+    def statistics(self) -> dict[str, object]:
+        """Per-rule counts plus run totals (the ``--statistics`` payload)."""
+        by_rule: dict[str, int] = {}
+        for v in self.violations:
+            by_rule[v.rule] = by_rule.get(v.rule, 0) + 1
+        return {
+            "files_checked": self.files_checked,
+            "total": len(self.violations),
+            "suppressed": len(self.suppressed),
+            "by_rule": dict(sorted(by_rule.items())),
+        }
+
+    def to_json_dict(self) -> dict[str, object]:
+        """The ``--format json`` document (round-trippable)."""
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "violations": [v.to_json_dict() for v in self.violations],
+            "statistics": self.statistics(),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict[str, object]) -> "LintResult":
+        """Rebuild violations/counters from :meth:`to_json_dict` output."""
+        violations = [
+            Violation.from_json_dict(v)  # type: ignore[arg-type]
+            for v in data.get("violations", [])  # type: ignore[union-attr]
+        ]
+        return cls(
+            violations=violations,
+            files_checked=int(data.get("files_checked", 0)),  # type: ignore[arg-type]
+        )
+
+
+def _rule_enabled(
+    rule_id: str,
+    select: Sequence[str] | None,
+    ignore: Sequence[str] | None,
+) -> bool:
+    def matches(patterns: Sequence[str]) -> bool:
+        return any(rule_id == p or rule_id.startswith(p) for p in patterns)
+
+    if ignore and matches(ignore):
+        return False
+    if select:
+        return matches(select)
+    return True
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> LintResult:
+    """Lint one module's source text."""
+    result = LintResult(files_checked=1)
+    _lint_one(source, path, select, ignore, result)
+    result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return result
+
+
+def _lint_one(
+    source: str,
+    path: str,
+    select: Sequence[str] | None,
+    ignore: Sequence[str] | None,
+    result: LintResult,
+) -> None:
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError) as exc:
+        if _rule_enabled(PARSE_ERROR_RULE_ID, select, ignore):
+            line = getattr(exc, "lineno", 1) or 1
+            result.violations.append(
+                Violation(
+                    rule=PARSE_ERROR_RULE_ID,
+                    path=path,
+                    line=line,
+                    col=1,
+                    message=f"file could not be parsed: {exc}",
+                    severity="error",
+                    fix_hint="fix the syntax error; nothing else was checked",
+                )
+            )
+        return
+
+    ctx = ModuleContext(path, source, tree)
+    raw: list[Violation] = []
+    enabled_rule_ids: set[str] = set()
+    for rule in _enabled_rules(select, ignore):
+        enabled_rule_ids.add(rule.meta.id)
+        raw.extend(rule.run(ctx))
+
+    scan = scan_suppressions(source)
+    if _rule_enabled(SUPPRESSION_RULE_ID, select, ignore):
+        for line, problem in scan.malformed:
+            raw.append(
+                Violation(
+                    rule=SUPPRESSION_RULE_ID,
+                    path=path,
+                    line=line,
+                    col=1,
+                    message=f"invalid `# repro: noqa` marker: {problem}",
+                    severity="error",
+                    fix_hint="write `# repro: noqa[RULE-ID] reason`",
+                )
+            )
+
+    used: set[tuple[int, str]] = set()
+    for v in raw:
+        sup_ids = scan.ids_for_line(v.line)
+        if v.rule in sup_ids:
+            used.add((v.line, v.rule))
+            result.suppressed.append(v)
+        else:
+            result.violations.append(v)
+
+    if _rule_enabled(UNUSED_SUPPRESSION_RULE_ID, select, ignore):
+        for sup in scan.suppressions:
+            for rid in sup.rule_ids:
+                # Only judge ids this run actually evaluated: under
+                # --select a foreign suppression is merely out of scope.
+                if rid in enabled_rule_ids and (sup.line, rid) not in used:
+                    result.violations.append(
+                        Violation(
+                            rule=UNUSED_SUPPRESSION_RULE_ID,
+                            path=path,
+                            line=sup.line,
+                            col=1,
+                            message=(
+                                f"suppression of {rid} silences nothing on "
+                                "this line"
+                            ),
+                            severity="error",
+                            fix_hint="delete the stale noqa (or fix its line)",
+                        )
+                    )
+
+
+def _enabled_rules(
+    select: Sequence[str] | None, ignore: Sequence[str] | None
+) -> list[Rule]:
+    return [
+        rule
+        for rule in all_rules()
+        if _rule_enabled(rule.meta.id, select, ignore)
+    ]
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Every ``*.py`` file under ``paths``, depth-first, sorted.
+
+    Files are listed in sorted order so reports — and therefore CI
+    artifacts — are byte-stable across filesystems.
+    """
+    out: list[Path] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            out.extend(sorted(q for q in p.rglob("*.py") if q.is_file()))
+        elif p.suffix == ".py" and p.is_file():
+            out.append(p)
+        elif not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {p}")
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for p in out:
+        if p not in seen:
+            seen.add(p)
+            unique.append(p)
+    return unique
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> LintResult:
+    """Lint files and directories recursively; aggregate one result."""
+    result = LintResult()
+    for file in iter_python_files(paths):
+        try:
+            source = file.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            result.violations.append(
+                Violation(
+                    rule=PARSE_ERROR_RULE_ID,
+                    path=str(file),
+                    line=1,
+                    col=1,
+                    message=f"file could not be read: {exc}",
+                    severity="error",
+                    fix_hint="make the file readable utf-8",
+                )
+            )
+            result.files_checked += 1
+            continue
+        result.files_checked += 1
+        _lint_one(source, str(file), select, ignore, result)
+    result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return result

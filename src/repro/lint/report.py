@@ -1,0 +1,109 @@
+"""Reporters: render a :class:`~repro.lint.engine.LintResult`.
+
+Three formats, mirroring common linter conventions:
+
+* ``text`` — ``path:line:col: ID message`` plus an indented fix hint;
+* ``json`` — the stable machine schema (``LintResult.to_json_dict``);
+* ``github`` — ``::error`` workflow commands that annotate PR diffs.
+
+:func:`render_statistics` renders the per-rule count table and
+:func:`statistics_json` the artifact payload CI uploads.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+from repro.lint.rules import Rule, all_rules
+
+__all__ = [
+    "FORMATS",
+    "render",
+    "render_text",
+    "render_json",
+    "render_github",
+    "render_statistics",
+    "render_rule_table",
+    "statistics_json",
+]
+
+FORMATS = ("text", "json", "github")
+
+
+def render_text(result: LintResult, *, fix_hints: bool = True) -> str:
+    """Human-oriented report, one line per violation (plus hints)."""
+    lines: list[str] = []
+    for v in result.violations:
+        lines.append(f"{v.path}:{v.line}:{v.col}: {v.rule} {v.message}")
+        if fix_hints and v.fix_hint:
+            lines.append(f"    fix: {v.fix_hint}")
+    n = len(result.violations)
+    noun = "violation" if n == 1 else "violations"
+    suffix = f" ({len(result.suppressed)} suppressed)" if result.suppressed else ""
+    lines.append(
+        f"{n} {noun} in {result.files_checked} file(s){suffix}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The machine-readable document (schema version 1)."""
+    return json.dumps(result.to_json_dict(), indent=2, sort_keys=True)
+
+
+def render_github(result: LintResult) -> str:
+    """GitHub Actions workflow commands (inline PR annotations)."""
+    lines = [
+        f"::error file={v.path},line={v.line},col={v.col},"
+        f"title={v.rule}::{v.message}"
+        for v in result.violations
+    ]
+    lines.append(
+        f"{len(result.violations)} violation(s) in "
+        f"{result.files_checked} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def render(result: LintResult, fmt: str) -> str:
+    """Dispatch on a ``--format`` value."""
+    if fmt == "text":
+        return render_text(result)
+    if fmt == "json":
+        return render_json(result)
+    if fmt == "github":
+        return render_github(result)
+    raise ValueError(f"unknown format: {fmt!r} (expected one of {FORMATS})")
+
+
+def render_statistics(result: LintResult) -> str:
+    """Per-rule count table (text companion of :func:`statistics_json`)."""
+    stats = result.statistics()
+    by_rule = stats["by_rule"]
+    assert isinstance(by_rule, dict)
+    lines = ["rule    count", "------  -----"]
+    for rid, count in by_rule.items():
+        lines.append(f"{rid:<6}  {count:>5}")
+    if not by_rule:
+        lines.append("(none)  {:>5}".format(0))
+    lines.append(
+        f"total {stats['total']} across {stats['files_checked']} file(s), "
+        f"{stats['suppressed']} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def statistics_json(result: LintResult) -> str:
+    """The ``--statistics PATH`` artifact payload."""
+    return json.dumps(result.statistics(), indent=2, sort_keys=True)
+
+
+def render_rule_table(rules: list[Rule] | None = None) -> str:
+    """The ``--list-rules`` output: every rule with its one-line summary."""
+    rules = rules if rules is not None else all_rules()
+    lines = []
+    for rule in rules:
+        m = rule.meta
+        lines.append(f"{m.id}  {m.name:<24} [{m.severity}] {m.summary}")
+    return "\n".join(lines)

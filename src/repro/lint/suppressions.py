@@ -1,0 +1,101 @@
+"""Inline suppression scanning: ``# repro: noqa[RULE-ID] reason``.
+
+The scanner is **tokenizer-based**: it walks the file's token stream and
+only inspects ``COMMENT`` tokens, so the marker text appearing inside a
+string literal (test fixtures, docs, generated code) never silences a
+real violation — a regex over raw lines gets exactly that wrong.
+
+Grammar, per comment::
+
+    # repro: noqa[DET001] reason text
+    # repro: noqa[DET001,PAR002] reason covering both
+
+* The bracket list holds one or more rule ids (``ABC123`` shape).
+* The reason is **mandatory** — a suppression that cannot say why it
+  exists is a bug magnet; reason-less or otherwise malformed markers are
+  themselves reported as ``SUP001``.
+* A suppression applies to violations reported on the comment's line.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.lint.rules import RULE_ID_RE
+
+__all__ = ["Suppression", "SuppressionScan", "scan_suppressions"]
+
+#: Anywhere-in-comment marker; the bracket payload and trailing reason
+#: are validated separately so malformed variants can be diagnosed.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\s*(\[(?P<ids>[^\]]*)\])?(?P<reason>.*)$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed, well-formed suppression comment."""
+
+    line: int
+    rule_ids: tuple[str, ...]
+    reason: str
+
+
+@dataclass
+class SuppressionScan:
+    """Every suppression in a file plus the malformed markers found."""
+
+    suppressions: list[Suppression] = field(default_factory=list)
+    #: ``(line, problem)`` pairs for markers that fail the grammar.
+    malformed: list[tuple[int, str]] = field(default_factory=list)
+
+    def ids_for_line(self, line: int) -> frozenset[str]:
+        """Rule ids suppressed on ``line``."""
+        out: set[str] = set()
+        for sup in self.suppressions:
+            if sup.line == line:
+                out.update(sup.rule_ids)
+        return frozenset(out)
+
+
+def scan_suppressions(source: str) -> SuppressionScan:
+    """Scan ``source`` for suppression comments via the tokenizer.
+
+    Only true comment tokens are considered; the marker inside string
+    literals is inert.  Unreadable sources (tokenizer errors) yield an
+    empty scan — the engine reports the parse failure separately.
+    """
+    scan = SuppressionScan()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return scan
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _NOQA_RE.search(tok.string)
+        if match is None:
+            continue
+        line = tok.start[0]
+        if match.group(1) is None:
+            scan.malformed.append(
+                (line, "missing [RULE-ID] list (write `# repro: noqa[ID] reason`)")
+            )
+            continue
+        raw_ids = [part.strip() for part in match.group("ids").split(",")]
+        bad = [rid for rid in raw_ids if not RULE_ID_RE.match(rid)]
+        if not raw_ids or bad or raw_ids == [""]:
+            label = ", ".join(repr(b) for b in bad) or "empty list"
+            scan.malformed.append((line, f"malformed rule id(s): {label}"))
+            continue
+        reason = match.group("reason").strip()
+        if not reason:
+            scan.malformed.append(
+                (line, "suppression must state a reason after the bracket")
+            )
+            continue
+        scan.suppressions.append(
+            Suppression(line=line, rule_ids=tuple(raw_ids), reason=reason)
+        )
+    return scan

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.device.grid import CLB_PER_REGION, DeviceGrid
+from repro.device.grid import CLB_PER_REGION
 from repro.netlist.stats import NetlistStats
 from repro.pblock.pblock import PBlock
 
