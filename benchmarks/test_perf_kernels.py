@@ -134,6 +134,68 @@ def test_perf_stitch_fast_vs_reference(grid):
     )
 
 
+def test_perf_ga_vs_sa_equal_budget(grid):
+    """The GA must match or beat single-seed SA on the cnvW1A1 stitch.
+
+    This is the CI perf-smoke gate for the optimizer portfolio: both
+    placers spend the same kernel-operation budget (one GA unit == one
+    SA iteration) on the same pre-implemented cnvW1A1 footprints, and
+    the GA's (unplaced, cost) outcome must not be worse.  Set
+    ``REPRO_GA_STATS`` to a path to write the comparison as a JSON
+    artifact, and ``REPRO_BENCH_GA_BUDGET`` to change the shared budget.
+    """
+    import json
+    import os
+    import time
+
+    from repro.cnv import cnv_design
+    from repro.flow.evolve import GAParams, evolve
+    from repro.flow.policy import FixedCF
+    from repro.flow.preimpl import implement_design
+
+    design = cnv_design()
+    pre = implement_design(design, grid, FixedCF(1.3))
+    footprints = {
+        name: impl.outcome.result.footprint
+        for name, impl in pre.items()
+        if impl.outcome.result.footprint is not None
+    }
+    if any(i.module not in footprints for i in design.instances):
+        design = design.subset(set(footprints))
+
+    budget = int(os.environ.get("REPRO_BENCH_GA_BUDGET", "4000"))
+    t0 = time.perf_counter()
+    sa = stitch(design, footprints, grid, SAParams(max_iters=budget, seed=0))
+    t_sa = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    ga = evolve(design, footprints, grid,
+                GAParams(move_budget=budget, seed=0))
+    t_ga = time.perf_counter() - t0
+
+    stats = {
+        "budget": budget,
+        "n_instances": len(design.instances),
+        "sa": {"final_cost": sa.final_cost, "n_placed": sa.n_placed,
+               "n_unplaced": sa.n_unplaced, "iterations": sa.iterations,
+               "wall_s": round(t_sa, 4)},
+        "ga": {"final_cost": ga.final_cost, "n_placed": ga.n_placed,
+               "n_unplaced": ga.n_unplaced, "iterations": ga.iterations,
+               "wall_s": round(t_ga, 4)},
+    }
+    out = os.environ.get("REPRO_GA_STATS")
+    if out:
+        with open(out, "w") as fh:
+            json.dump(stats, fh, indent=2, sort_keys=True)
+    print(json.dumps(stats, indent=2, sort_keys=True))
+
+    assert ga.iterations <= budget
+    assert (ga.n_unplaced, ga.final_cost) <= (sa.n_unplaced, sa.final_cost), (
+        f"GA (unplaced={ga.n_unplaced}, cost={ga.final_cost}) worse than "
+        f"SA (unplaced={sa.n_unplaced}, cost={sa.final_cost}) "
+        f"at budget {budget}"
+    )
+
+
 def test_perf_tracer_overhead(grid):
     """Tracing must stay cheap on the stitch benchmark workload.
 

@@ -10,6 +10,7 @@ Usage::
     python -m repro preimpl design.json --cache-dir .cache --workers 4  # warm the cache
     python -m repro stitch design.json --cf 1.5 --restarts 4  # place a design
     python -m repro stitch design.json --profile --trace-out trace.json
+    python -m repro evolve design.json --budget 20000 --restarts 4  # GA placer
     python -m repro trace summarize trace.json  # render a saved trace
     python -m repro lint src benchmarks --format github  # static analysis
     python -m repro report [-n 2000] [-o EXPERIMENTS.md]  # all experiments
@@ -150,6 +151,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_st.add_argument("--render", action="store_true",
                       help="print the ASCII occupancy map")
     _add_trace_args(p_st)
+
+    p_ev = sub.add_parser(
+        "evolve",
+        help="pre-implement and GA-place a saved block design",
+    )
+    p_ev.add_argument("design", help="design JSON (see export-design)")
+    p_ev.add_argument("--part", default="xc7z020")
+    ev_cf_group = p_ev.add_mutually_exclusive_group()
+    ev_cf_group.add_argument("--cf", type=float, default=1.5,
+                             help="constant correction factor")
+    ev_cf_group.add_argument("--minimal", action="store_true",
+                             help="use the ground-truth minimal CF per module")
+    p_ev.add_argument("--kernel", choices=list(_SA_KERNELS), default="fast")
+    p_ev.add_argument("--restarts", type=int, default=1,
+                      help="independent GA seeds; the best run wins")
+    p_ev.add_argument("--workers", type=int, default=0,
+                      help="worker processes for the restarts (0 = serial)")
+    p_ev.add_argument("--budget", type=int, default=20000,
+                      help="kernel-move budget (comparable to SA --sa-iters)")
+    p_ev.add_argument("--population", type=int, default=16)
+    p_ev.add_argument("--polish-frac", type=float, default=0.5,
+                      help="trailing budget fraction spent hill-climbing")
+    p_ev.add_argument("--seed", type=int, default=0)
+    p_ev.add_argument("--render", action="store_true",
+                      help="print the ASCII occupancy map")
+    _add_trace_args(p_ev)
 
     p_lint = sub.add_parser(
         "lint",
@@ -403,6 +430,61 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    from repro.device import make_part
+    from repro.flow.design_io import load_design
+    from repro.flow.evolve import GAParams
+    from repro.flow.policy import FixedCF, MinimalCFPolicy
+    from repro.flow.rwflow import run_rw_flow
+
+    design = load_design(args.design)
+    grid = make_part(args.part)
+    policy = MinimalCFPolicy() if args.minimal else FixedCF(args.cf)
+    tracer = _make_tracer(args)
+    res = run_rw_flow(
+        design,
+        grid,
+        policy,
+        placer="ga",
+        ga_params=GAParams(
+            move_budget=args.budget,
+            population=args.population,
+            polish_frac=args.polish_frac,
+            seed=args.seed,
+        ),
+        kernel=args.kernel,
+        n_seeds=args.restarts,
+        n_workers=args.workers or None,
+        tracer=tracer,
+    )
+    s = res.stitch
+    _emit_trace(tracer, args)
+    print(
+        f"{design.name} on {grid.name}: {s.n_placed} placed, "
+        f"{s.n_unplaced} unplaced, wirelength {s.wirelength:.1f}, "
+        f"cost {s.final_cost:.1f}"
+    )
+    print(
+        f"  converged at move {s.converged_at}/{s.iterations}, "
+        f"{s.illegal_moves} illegal moves, {res.total_tool_runs} tool runs"
+    )
+    if s.stats is not None:
+        st = s.stats
+        print(
+            f"  kernel={st.kernel} seed={st.seed} "
+            f"accept rate {st.accept_rate * 100:.1f}%, "
+            f"{st.total_s:.2f}s "
+            f"(init {st.initial_s:.2f} + generations {st.anneal_s:.2f} "
+            f"+ repair {st.fill_s:.2f})"
+        )
+    if args.render:
+        print(s.render())
+    if not res.ok:
+        print(res.infeasible.describe())
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import lint_paths, render, render_rule_table, render_statistics
     from repro.lint.report import statistics_json
@@ -457,6 +539,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "preimpl": _cmd_preimpl,
     "stitch": _cmd_stitch,
+    "evolve": _cmd_evolve,
     "lint": _cmd_lint,
     "trace": _cmd_trace,
     "report": _cmd_report,

@@ -18,10 +18,12 @@ from typing import Mapping, Sequence
 from repro.device.grid import DeviceGrid
 from repro.flow.blockdesign import BlockDesign
 from repro.flow.cache import ModuleCache
+from repro.flow.placers import SAPlacer, default_portfolio
 from repro.flow.policy import CFPolicy, FixedCF, FlowInfeasibleError
 from repro.flow.preimpl import ImplementedModule, implement_module
-from repro.flow.stitcher import SAParams, StitchResult, stitch
+from repro.flow.stitcher import SAParams, StitchResult
 from repro.obs.tracer import NullTracer, Tracer, current_tracer
+from repro.place_kernel.protocol import Placer
 from repro.rtlgen.base import RTLModule
 from repro.utils.tables import Table
 
@@ -48,6 +50,9 @@ class DSEPoint:
         incremental cost of the step.
     cache_hits:
         Modules served from the cache.
+    placer:
+        Name of the portfolio optimizer whose placement won this
+        scenario (``"sa"`` when the portfolio is the default single SA).
     """
 
     label: str
@@ -56,6 +61,7 @@ class DSEPoint:
     n_unplaced: int
     implemented_effort: int
     cache_hits: int
+    placer: str = "sa"
 
     def dominates(self, other: "DSEPoint") -> bool:
         """Pareto dominance on (area, worst path), requiring feasibility.
@@ -128,6 +134,16 @@ class DSEExplorer:
     cache_dir:
         Disk-persistent cache root when ``cache`` is not given, so DSE
         sessions warm-start across process restarts.
+    placers:
+        The optimizer portfolio run per variant: a sequence of
+        :class:`~repro.place_kernel.protocol.Placer` objects, or the
+        string ``"portfolio"`` for the default SA + GA + warm-started SA
+        trio (:func:`~repro.flow.placers.default_portfolio`) at the
+        ``sa_params`` move budget.  Every placer stitches each variant
+        and the best placement (fewest unplaced, then lowest cost; ties
+        break toward the earliest placer) is kept —
+        :attr:`DSEPoint.placer` records the winner.  Default: SA only,
+        matching the pre-portfolio behavior exactly.
     tracer:
         Where each :meth:`evaluate` records its ``dse.evaluate`` span
         (module implementation + the nested ``stitch`` phase breakdown).
@@ -146,6 +162,7 @@ class DSEExplorer:
         kernel: str = "fast",
         cache: ModuleCache | None = None,
         cache_dir: str | None = None,
+        placers: Sequence[Placer] | str | None = None,
         tracer: Tracer | NullTracer | None = None,
     ) -> None:
         base.validate()
@@ -156,6 +173,21 @@ class DSEExplorer:
         self.sa_params = sa_params or SAParams(max_iters=8000, seed=0)
         self.kernel = kernel
         self.cache = cache if cache is not None else ModuleCache(cache_dir)
+        if placers is None:
+            self.placers: tuple[Placer, ...] = (
+                SAPlacer(params=self.sa_params, kernel=self.kernel),
+            )
+        elif placers == "portfolio":
+            self.placers = default_portfolio(self.sa_params, self.kernel)
+        elif isinstance(placers, str):
+            raise ValueError(
+                f"unknown placer portfolio {placers!r}; "
+                "pass 'portfolio' or a sequence of Placer objects"
+            )
+        else:
+            if not placers:
+                raise ValueError("placers must not be empty")
+            self.placers = tuple(placers)
         self.tracer = tracer
         self.points: list[DSEPoint] = []
 
@@ -227,12 +259,23 @@ class DSEExplorer:
             stitchable = (
                 self.base if not infeasible else self.base.subset(set(impls))
             )
+            winner_name = self.placers[0].name
             if stitchable.instances:
-                stitched: StitchResult = stitch(
-                    stitchable, footprints, self.stitch_grid, self.sa_params,
-                    kernel=self.kernel, tracer=tr,
-                )
-                n_unplaced = stitched.n_unplaced
+                # Run the whole portfolio and keep the pareto-best
+                # placement: fewest unplaced blocks first, then lowest
+                # final cost; ties break toward the earliest placer.
+                best_stitched: StitchResult | None = None
+                for placer in self.placers:
+                    res = placer.place(
+                        stitchable, footprints, self.stitch_grid, tracer=tr
+                    )
+                    if best_stitched is None or (
+                        (res.n_unplaced, res.final_cost)
+                        < (best_stitched.n_unplaced, best_stitched.final_cost)
+                    ):
+                        best_stitched = res
+                        winner_name = placer.name
+                n_unplaced = best_stitched.n_unplaced
             else:
                 n_unplaced = 0
             n_unplaced += sum(counts[m] for m in infeasible)
@@ -245,6 +288,7 @@ class DSEExplorer:
             sp.incr("implemented_effort", effort)
             sp.set_attr("n_unplaced", n_unplaced)
             sp.set_attr("n_infeasible", len(infeasible))
+            sp.set_attr("winner_placer", winner_name)
             point = DSEPoint(
                 label=label,
                 area_slices=area,
@@ -252,6 +296,7 @@ class DSEExplorer:
                 n_unplaced=n_unplaced,
                 implemented_effort=effort,
                 cache_hits=hits,
+                placer=winner_name,
             )
         self.points.append(point)
         return point

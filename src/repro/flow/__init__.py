@@ -9,9 +9,16 @@
   in :mod:`repro.estimator`);
 * :mod:`repro.flow.stitcher` — the simulated-annealing macro placer that
   assembles pre-implemented blocks into a full-device placement (two
-  equivalence-tested move kernels: ``"fast"`` and ``"reference"``);
-* :mod:`repro.flow.restarts` — multi-seed SA restarts
-  (:func:`~repro.flow.restarts.stitch_best`);
+  equivalence-tested move kernels: ``"fast"`` and ``"reference"``,
+  shared via :mod:`repro.place_kernel`);
+* :mod:`repro.flow.evolve` — the evolutionary (GA) macro placer driving
+  the same move kernel and objective as the stitcher;
+* :mod:`repro.flow.placers` — the optimizer portfolio (SA, GA,
+  warm-started SA) behind the
+  :class:`~repro.place_kernel.protocol.Placer` protocol;
+* :mod:`repro.flow.restarts` — multi-seed placement restarts
+  (:func:`~repro.flow.restarts.stitch_best`,
+  :func:`~repro.flow.restarts.evolve_best`);
 * :mod:`repro.flow.monolithic` — the flat "AMD EDA"-style whole-device
   flow used as the paper's baseline (Table I, Fig. 5a);
 * :mod:`repro.flow.rwflow` — the end-to-end RapidWright-style flow;
@@ -35,7 +42,14 @@ from repro.flow.cache import (
     policy_fingerprint,
 )
 from repro.flow.design_io import load_design, save_design
+from repro.flow.evolve import GAParams, evolve
 from repro.flow.monolithic import MonolithicResult, monolithic_flow
+from repro.flow.placers import (
+    GAPlacer,
+    SAPlacer,
+    WarmStartedSAPlacer,
+    default_portfolio,
+)
 from repro.flow.policy import (
     CFOutcome,
     CFPolicy,
@@ -61,7 +75,7 @@ from repro.flow.prflow import (
     plan_partitions,
     refloorplan,
 )
-from repro.flow.restarts import stitch_best
+from repro.flow.restarts import evolve_best, stitch_best
 from repro.flow.results import FlowComparison, compare_flows
 from repro.flow.rwflow import RWFlowResult, run_rw_flow
 from repro.flow.stitcher import (
@@ -85,6 +99,8 @@ __all__ = [
     "FlowInfeasibleError",
     "FlowInfeasibleReport",
     "FlowStats",
+    "GAParams",
+    "GAPlacer",
     "ImplementedModule",
     "Instance",
     "KERNELS",
@@ -98,13 +114,18 @@ __all__ = [
     "PreImplResult",
     "RWFlowResult",
     "SAParams",
+    "SAPlacer",
     "StitchResult",
     "StitchStats",
     "SweepCF",
+    "WarmStartedSAPlacer",
     "analyze_design",
     "apply_update",
     "cache_key",
     "compare_flows",
+    "default_portfolio",
+    "evolve",
+    "evolve_best",
     "generate_bitstream",
     "grid_fingerprint",
     "implement_design",

@@ -1,0 +1,154 @@
+"""Concrete :class:`~repro.place_kernel.protocol.Placer` implementations.
+
+The optimizer portfolio: three interchangeable placers behind one
+protocol, all driving the same move kernel and scoring the same
+objective, so their results are directly comparable —
+
+* :class:`SAPlacer` — the simulated-annealing stitcher;
+* :class:`GAPlacer` — the evolutionary placer;
+* :class:`WarmStartedSAPlacer` — a short GA pass whose best placement
+  warm-starts a (budget-reduced) anneal, the classic global-then-local
+  pipeline.
+
+``default_portfolio`` builds all three at one total move budget each,
+which is what :class:`~repro.dse.explorer.DSEExplorer` runs per variant
+when portfolio mode is enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.device.grid import DeviceGrid
+from repro.flow.blockdesign import BlockDesign
+from repro.flow.evolve import GAParams, evolve
+from repro.flow.stitcher import SAParams, stitch
+from repro.obs.tracer import NullTracer, Tracer
+from repro.place.shapes import Footprint
+from repro.place_kernel.result import StitchResult
+
+__all__ = [
+    "GAPlacer",
+    "SAPlacer",
+    "WarmStartedSAPlacer",
+    "default_portfolio",
+]
+
+
+@dataclass(frozen=True)
+class SAPlacer:
+    """The SA stitcher as a portfolio member."""
+
+    params: SAParams = field(default_factory=SAParams)
+    kernel: str = "fast"
+    name: str = "sa"
+
+    def place(
+        self,
+        design: BlockDesign,
+        footprints: Mapping[str, Footprint],
+        grid: DeviceGrid,
+        *,
+        tracer: Tracer | NullTracer | None = None,
+    ) -> StitchResult:
+        return stitch(
+            design, dict(footprints), grid, self.params,
+            kernel=self.kernel, tracer=tracer,
+        )
+
+
+@dataclass(frozen=True)
+class GAPlacer:
+    """The evolutionary placer as a portfolio member."""
+
+    params: GAParams = field(default_factory=GAParams)
+    kernel: str = "fast"
+    name: str = "ga"
+
+    def place(
+        self,
+        design: BlockDesign,
+        footprints: Mapping[str, Footprint],
+        grid: DeviceGrid,
+        *,
+        tracer: Tracer | NullTracer | None = None,
+    ) -> StitchResult:
+        return evolve(
+            design, dict(footprints), grid, self.params,
+            kernel=self.kernel, tracer=tracer,
+        )
+
+
+@dataclass(frozen=True)
+class WarmStartedSAPlacer:
+    """GA global placement feeding a warm-started anneal.
+
+    The GA spends ``warm_frac`` of the SA move budget finding a good
+    global placement; the anneal then starts from it instead of the
+    greedy packing, with its iteration budget reduced by what the GA
+    consumed, so the *total* kernel-operation spend still equals
+    ``params.max_iters`` (the portfolio's equal-budget contract).
+    """
+
+    params: SAParams = field(default_factory=SAParams)
+    kernel: str = "fast"
+    warm_frac: float = 0.3
+    name: str = "warm-sa"
+
+    def place(
+        self,
+        design: BlockDesign,
+        footprints: Mapping[str, Footprint],
+        grid: DeviceGrid,
+        *,
+        tracer: Tracer | NullTracer | None = None,
+    ) -> StitchResult:
+        warm_budget = max(1, int(self.params.max_iters * self.warm_frac))
+        warm = evolve(
+            design,
+            dict(footprints),
+            grid,
+            GAParams(
+                move_budget=warm_budget,
+                unplaced_weight=self.params.unplaced_weight,
+                seed=self.params.seed,
+            ),
+            kernel=self.kernel,
+            tracer=tracer,
+        )
+        anneal = replace(
+            self.params,
+            max_iters=max(1, self.params.max_iters - warm.iterations),
+        )
+        result = stitch(
+            design,
+            dict(footprints),
+            grid,
+            anneal,
+            kernel=self.kernel,
+            initial_placements=warm.placements,
+            tracer=tracer,
+        )
+        # A zero-temperature-converged warm start can be better than the
+        # re-annealed result; the pipeline returns the better of the two.
+        if warm.final_cost < result.final_cost:
+            return warm
+        return result
+
+
+def default_portfolio(
+    sa_params: SAParams | None = None, kernel: str = "fast"
+) -> tuple[SAPlacer, GAPlacer, WarmStartedSAPlacer]:
+    """SA, GA and warm-started SA at the same total move budget each."""
+    params = sa_params or SAParams()
+    ga = GAParams(
+        move_budget=params.max_iters,
+        unplaced_weight=params.unplaced_weight,
+        seed=params.seed,
+    )
+    return (
+        SAPlacer(params=params, kernel=kernel),
+        GAPlacer(params=ga, kernel=kernel),
+        WarmStartedSAPlacer(params=params, kernel=kernel),
+    )

@@ -1,10 +1,11 @@
-"""Multi-seed stitching restarts.
+"""Multi-seed placement restarts (SA and GA).
 
-Simulated annealing is cheap to restart and its final cost varies with
-the seed, so the classic quality lever (RapidLayout-style stochastic
-placement) is to anneal several independent seeds and keep the best run.
-``stitch_best`` does exactly that, optionally fanning the seeds out over
-worker processes with :mod:`concurrent.futures`.
+Stochastic placers are cheap to restart and their final cost varies
+with the seed, so the classic quality lever (RapidLayout-style
+stochastic placement) is to run several independent seeds and keep the
+best run.  ``stitch_best`` does exactly that for the SA stitcher and
+``evolve_best`` for the GA evolver, optionally fanning the seeds out
+over worker processes with :mod:`concurrent.futures`.
 
 Determinism: the winner depends only on the seed list — results are
 collected in seed order and ties break toward the earliest seed — so the
@@ -21,11 +22,12 @@ from typing import Sequence
 
 from repro.device.grid import DeviceGrid
 from repro.flow.blockdesign import BlockDesign
+from repro.flow.evolve import GAParams, evolve
 from repro.flow.stitcher import SAParams, StitchResult, stitch
 from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.place.shapes import Footprint
 
-__all__ = ["stitch_best"]
+__all__ = ["evolve_best", "stitch_best"]
 
 
 def _run_one(
@@ -43,6 +45,19 @@ def _run_one(
     design, footprints, grid, params, kernel, want_trace = args
     tr = Tracer() if want_trace else None
     result = stitch(design, footprints, grid, params, kernel=kernel, tracer=tr)
+    trace = tr.roots[0].to_json_dict() if tr else None
+    return result, trace
+
+
+def _run_one_evolve(
+    args: tuple[
+        BlockDesign, dict[str, Footprint], DeviceGrid, GAParams, str, bool
+    ],
+) -> tuple[StitchResult, dict | None]:
+    """GA worker entry point (module-level so it pickles)."""
+    design, footprints, grid, params, kernel, want_trace = args
+    tr = Tracer() if want_trace else None
+    result = evolve(design, footprints, grid, params, kernel=kernel, tracer=tr)
     trace = tr.roots[0].to_json_dict() if tr else None
     return result, trace
 
@@ -107,18 +122,63 @@ def stitch_best(
         (design, footprints, grid, replace(params, seed=s), kernel, want_trace)
         for s in seeds
     ]
-    with ambient.span("stitch.restarts", n_seeds=len(seeds)) as sp:
+    return _best_of(jobs, _run_one, "stitch.restarts", ambient, n_workers)
+
+
+def evolve_best(
+    design: BlockDesign,
+    footprints: dict[str, Footprint],
+    grid: DeviceGrid,
+    params: GAParams | None = None,
+    *,
+    n_seeds: int = 4,
+    n_workers: int | None = None,
+    seeds: Sequence[int] | None = None,
+    kernel: str = "fast",
+    tracer: Tracer | NullTracer | None = None,
+) -> StitchResult:
+    """Evolve several independent GA seeds and return the best run.
+
+    The GA peer of :func:`stitch_best`: same seed-family expansion, same
+    process fan-out, same worker-count-independent winner (results are
+    collected in seed order, ties break toward the earliest seed).  The
+    ``evolve.restarts`` span records one child ``evolve`` span per seed.
+    """
+    params = params or GAParams()
+    if seeds is None:
+        if n_seeds < 1:
+            raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
+        seeds = [params.seed + k for k in range(n_seeds)]
+    else:
+        seeds = list(seeds)
+        if not seeds:
+            raise ValueError("seeds must not be empty")
+
+    ambient = tracer if tracer is not None else current_tracer()
+    want_trace = ambient.enabled
+
+    jobs = [
+        (design, footprints, grid, replace(params, seed=s), kernel, want_trace)
+        for s in seeds
+    ]
+    return _best_of(jobs, _run_one_evolve, "evolve.restarts", ambient, n_workers)
+
+
+def _best_of(jobs, runner, span_name, ambient, n_workers) -> StitchResult:
+    """Fan the seed jobs out, graft worker traces, keep the best run."""
+    want_trace = ambient.enabled
+    with ambient.span(span_name, n_seeds=len(jobs)) as sp:
         if n_workers is None or n_workers <= 1 or len(jobs) == 1:
-            outcomes = [_run_one(job) for job in jobs]
+            outcomes = [runner(job) for job in jobs]
         else:
             try:
                 with ProcessPoolExecutor(
                     max_workers=min(n_workers, len(jobs))
                 ) as pool:
                     # map() preserves seed order, which the tiebreak relies on.
-                    outcomes = list(pool.map(_run_one, jobs))
+                    outcomes = list(pool.map(runner, jobs))
             except OSError:  # process pools unavailable (restricted sandboxes)
-                outcomes = [_run_one(job) for job in jobs]
+                outcomes = [runner(job) for job in jobs]
         if want_trace:
             for _result, trace in outcomes:
                 ambient.graft(trace)

@@ -26,7 +26,8 @@ from repro.flow.preimpl import (
     ImplementedModule,
     implement_design,
 )
-from repro.flow.restarts import stitch_best
+from repro.flow.evolve import GAParams, evolve
+from repro.flow.restarts import evolve_best, stitch_best
 from repro.flow.stitcher import SAParams, StitchResult, stitch
 from repro.obs.tracer import NullTracer, Tracer, current_tracer
 
@@ -87,6 +88,8 @@ def run_rw_flow(
     *,
     stitch_grid: DeviceGrid | None = None,
     sa_params: SAParams | None = None,
+    placer: str = "sa",
+    ga_params: GAParams | None = None,
     kernel: str = "fast",
     n_seeds: int = 1,
     n_workers: int | None = None,
@@ -110,7 +113,13 @@ def run_rw_flow(
         sizes modules against the xc7z020 but evaluates estimator-driven
         stitching on the xc7z045 (§VIII).
     sa_params:
-        Stitcher annealing parameters.
+        Stitcher annealing parameters (used when ``placer="sa"``).
+    placer:
+        Which portfolio optimizer places the design: ``"sa"`` (the
+        annealing stitcher, the default) or ``"ga"`` (the evolutionary
+        placer of :mod:`repro.flow.evolve`).
+    ga_params:
+        GA parameters when ``placer="ga"`` (``None`` = defaults).
     kernel:
         Stitcher move-kernel (``"fast"`` or ``"reference"``).
     n_seeds:
@@ -154,8 +163,24 @@ def run_rw_flow(
 
         missing = [i for i in design.instances if i.module not in footprints]
         stitchable = design if not missing else design.subset(set(footprints))
+        if placer not in ("sa", "ga"):
+            raise ValueError(
+                f"unknown placer {placer!r}; choose from ('sa', 'ga')"
+            )
         if stitchable.instances:
-            if n_seeds > 1:
+            if placer == "ga":
+                if n_seeds > 1:
+                    result = evolve_best(
+                        stitchable, footprints, target, ga_params,
+                        n_seeds=n_seeds, n_workers=n_workers, kernel=kernel,
+                        tracer=ambient,
+                    )
+                else:
+                    result = evolve(
+                        stitchable, footprints, target, ga_params,
+                        kernel=kernel, tracer=ambient,
+                    )
+            elif n_seeds > 1:
                 result = stitch_best(
                     stitchable, footprints, target, sa_params,
                     n_seeds=n_seeds, n_workers=n_workers, kernel=kernel,

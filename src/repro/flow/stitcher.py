@@ -9,50 +9,34 @@ collide more, slowing convergence and inflating the final cost (§VIII:
 the estimator's tighter, more rectangular footprints converge 1.37x
 faster with 40% lower cost than constant CF = 1.68).
 
-Two interchangeable kernels implement the geometry/cost primitives under
-one shared driver loop:
-
-* ``kernel="fast"`` (default) — per-column occupancy bitmasks stored as
-  Python big-ints (an overlap probe is one shift+AND per column, and the
-  greedy packer finds the lowest legal row with a logarithmic bit
-  dilation instead of a row scan), per-footprint compatible-site tables
-  shared by every instance of a module, incrementally cached instance
-  centers, and flat numpy edge-endpoint arrays so whole-design cost
-  sums are single vectorized gathers.
-* ``kernel="reference"`` — the original straightforward implementation
-  (numpy occupancy slicing, per-edge Python sums).  Kept forever as the
-  executable specification that the fast kernel is tested against.
-
-Both kernels draw from the same batched uniform stream (one
-``Generator.random(block)`` call amortizes the per-draw RNG overhead),
-so a fixed seed produces identical placements, costs and history on
-either kernel — enforced by ``tests/test_stitcher_equivalence.py``.
-With the integer edge widths ``BlockDesign`` produces, every HPWL term
-is a dyadic rational that float64 evaluates exactly in any summation
-order, which is what makes the equivalence bitwise rather than
-approximate.
+The geometry/cost primitives live in :mod:`repro.place_kernel`: two
+interchangeable move kernels (``"fast"`` bitmask/vectorized and
+``"reference"``, the executable specification) drive one shared driver
+loop here.  Both kernels draw from the same batched uniform stream, so a
+fixed seed produces identical placements, costs and history on either
+kernel — enforced by ``tests/test_stitcher_equivalence.py`` and pinned
+by the golden costs in ``tests/test_golden_costs.py``.  The same kernel
+also powers the GA placer (:mod:`repro.flow.evolve`), which is what
+makes SA-vs-GA costs directly comparable.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
-from repro.device.column import ColumnKind
 from repro.device.grid import DeviceGrid
 from repro.flow.blockdesign import BlockDesign
 from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.place.shapes import Footprint
+from repro.place_kernel.kernel import KERNELS
+from repro.place_kernel.problem import PlacementProblem
+from repro.place_kernel.result import StitchResult, StitchStats
+from repro.place_kernel.uniform import UniformBuffer
 
 __all__ = ["KERNELS", "SAParams", "StitchResult", "StitchStats", "stitch"]
-
-_HARD_KINDS = (ColumnKind.BRAM, ColumnKind.DSP)
-_HARD_PITCH = 5  # CLB rows per BRAM/DSP site
-
-#: Selectable move-kernel implementations.
-KERNELS = ("fast", "reference")
 
 
 @dataclass(frozen=True)
@@ -73,625 +57,6 @@ class SAParams:
     seed: int = 0
 
 
-@dataclass(frozen=True)
-class StitchStats:
-    """Instrumentation of one stitching run.
-
-    A thin view over the run's trace: each timing is the duration of the
-    matching ``stitch.*`` span (monotonic, :func:`time.perf_counter`
-    based), and the four phases *tile* the run — ``fill_s`` includes the
-    post-anneal finalization (deterministic fill, convergence scan,
-    final cost/occupancy extraction), so ``total_s`` equals the wall
-    time of the whole :func:`stitch` call.  Counters split the move mix
-    into attempts and acceptances and mirror the ``stitch.anneal``
-    span's counters.  All counters are deterministic for a fixed seed;
-    the timings are not, so the whole object is excluded from
-    :class:`StitchResult` equality.
-    """
-
-    kernel: str
-    seed: int
-    setup_s: float
-    initial_s: float
-    anneal_s: float
-    fill_s: float
-    move_attempts: int
-    place_attempts: int
-    swap_attempts: int
-    move_accepts: int
-    place_accepts: int
-    swap_accepts: int
-    illegal_moves: int
-    #: ``(iteration, temperature)`` at the end of each temperature step.
-    temperature_trace: tuple[tuple[int, float], ...] = ()
-
-    @property
-    def total_s(self) -> float:
-        """Wall-clock total across all phases."""
-        return self.setup_s + self.initial_s + self.anneal_s + self.fill_s
-
-    @property
-    def accept_rate(self) -> float:
-        """Accepted fraction over all attempted moves."""
-        attempts = self.move_attempts + self.place_attempts + self.swap_attempts
-        accepts = self.move_accepts + self.place_accepts + self.swap_accepts
-        return accepts / attempts if attempts else 0.0
-
-
-@dataclass(frozen=True)
-class StitchResult:
-    """Outcome of one stitching run.
-
-    Attributes
-    ----------
-    placements:
-        Anchor ``(x, y)`` per instance, or ``None`` if unplaced.
-    n_placed, n_unplaced:
-        Placement counts (Fig. 5's headline metric).
-    wirelength:
-        Final weighted HPWL over inter-block edges.
-    final_cost:
-        Wirelength plus unplaced penalties (the SA objective).
-    iterations:
-        Total SA iterations executed.
-    converged_at:
-        Iteration at which the SA first came within 1% of its final cost
-        (the paper's convergence-speed metric compares this across CF
-        policies; footprint irregularity slows the descent).
-    illegal_moves:
-        Rejected-by-overlap move count.
-    history:
-        Best-cost trajectory as ``(iteration, cost)`` improvement points.
-    occupancy:
-        Final occupancy grid (columns x CLB rows), for rendering.
-    stats:
-        Per-phase timings, move counters and the temperature trace.
-    """
-
-    placements: dict[str, tuple[int, int] | None]
-    n_placed: int
-    n_unplaced: int
-    wirelength: float
-    final_cost: float
-    iterations: int
-    converged_at: int
-    illegal_moves: int
-    history: tuple[tuple[int, float], ...] = field(
-        compare=False, repr=False, default=()
-    )
-    occupancy: np.ndarray | None = field(compare=False, repr=False, default=None)
-    stats: StitchStats | None = field(compare=False, repr=False, default=None)
-
-    def iters_to_cost(self, target: float) -> int | None:
-        """First iteration whose best cost is <= ``target``.
-
-        The time-to-target metric annealing comparisons use: how fast one
-        run reaches the quality another run ends at.  ``None`` if the run
-        never got there.
-        """
-        for it, c in self.history:
-            if c <= target + 1e-9:
-                return it
-        return None
-
-    def render(self, max_width: int = 100) -> str:
-        """ASCII view of the occupancy (Fig. 5 / Fig. 13 style)."""
-        occ = self.occupancy
-        if occ is None:
-            return "<no occupancy recorded>"
-        cols, rows = occ.shape
-        step = max(1, math.ceil(cols / max_width))
-        lines = []
-        for y in range(rows - 1, -1, -max(1, rows // 40)):
-            line = "".join(
-                "#" if occ[x : x + step, y].any() else "."
-                for x in range(0, cols, step)
-            )
-            lines.append(line)
-        return "\n".join(lines)
-
-
-class _UniformBuffer:
-    """Uniform [0, 1) draws, batched into one RNG call per block.
-
-    Every random decision in the driver and the move kernel goes through
-    this buffer, so both kernels consume the exact same stream for a
-    given seed (the precondition for fast-vs-reference equivalence).
-    """
-
-    __slots__ = ("_rng", "_block", "_buf", "_i")
-
-    def __init__(self, rng: np.random.Generator, block: int) -> None:
-        self._rng = rng
-        self._block = block
-        self._buf = rng.random(block).tolist()
-        self._i = 0
-
-    def next(self) -> float:
-        i = self._i
-        buf = self._buf
-        if i >= len(buf):
-            self._buf = buf = self._rng.random(self._block).tolist()
-            i = 0
-        self._i = i + 1
-        return buf[i]
-
-    def index(self, n: int) -> int:
-        """One draw mapped to ``{0, ..., n-1}``."""
-        k = int(self.next() * n)
-        return n - 1 if k >= n else k
-
-
-def _dilate_down(mask: int, h: int) -> int:
-    """OR of ``mask >> k`` for ``k`` in ``[0, h)`` (logarithmic doubling).
-
-    Bit ``y`` of the result is set iff ``mask`` has any bit in
-    ``[y, y + h)`` — i.e. the set of anchor rows a column of height ``h``
-    collides at.
-    """
-    out = mask
-    covered = 1
-    while covered < h:
-        s = min(covered, h - covered)
-        out |= out >> s
-        covered += s
-    return out
-
-
-class _SiteTable:
-    """Compatible-site table of one unique (trimmed) footprint.
-
-    Shared by every instance of the same module, so a design with heavy
-    reuse (cnvW1A1: 175 instances / 74 modules) builds each table once.
-    """
-
-    __slots__ = (
-        "footprint",
-        "anchors_x",
-        "y_step",
-        "y_max",
-        "n_y",
-        "area",
-        "max_height",
-        "half_w",
-        "half_h",
-        "heights_arr",
-        "masks",
-        "allowed_mask",
-    )
-
-    def __init__(self, grid: DeviceGrid, fp: Footprint) -> None:
-        self.footprint = fp
-        self.anchors_x = grid.compatible_x_anchors(fp.col_kinds)
-        self.y_step = (
-            _HARD_PITCH if any(k in _HARD_KINDS for k in fp.col_kinds) else 1
-        )
-        self.y_max = grid.height_clbs - fp.max_height
-        self.n_y = self.y_max // self.y_step + 1 if self.y_max >= 0 else 0
-        self.area = fp.occupied_clbs
-        self.max_height = fp.max_height
-        self.half_w = fp.width / 2.0
-        self.half_h = fp.max_height / 2.0
-        self.heights_arr = fp.heights_array()
-        self.masks = tuple(
-            (c, (1 << int(h)) - 1, int(h))
-            for c, h in enumerate(fp.heights)
-            if h
-        )
-        allowed = 0
-        if self.y_max >= 0:
-            if self.y_step == 1:
-                allowed = (1 << (self.y_max + 1)) - 1
-            else:
-                for y in range(0, self.y_max + 1, self.y_step):
-                    allowed |= 1 << y
-        self.allowed_mask = allowed
-
-
-class _KernelBase:
-    """Shared state and move logic of one annealing run.
-
-    Subclasses provide the geometry/cost primitives (``fits``, ``paint``,
-    ``set_pos``, ``incident_cost``, ``wirelength``, ``lowest_fit_y``,
-    ``occupancy_array``); everything that touches the random stream or
-    decides moves lives here, once, so both kernels behave identically.
-    """
-
-    name = "?"
-
-    def __init__(
-        self,
-        grid: DeviceGrid,
-        names: list[str],
-        footprints: list[Footprint],
-        edges: list[tuple[int, int, int]],
-        params: SAParams,
-    ) -> None:
-        self.grid = grid
-        self.names = names
-        self.fps = footprints
-        self.edges = edges
-        self.params = params
-        self.n = len(names)
-        # Per-footprint site tables, shared across same-module instances.
-        table_index: dict[Footprint, int] = {}
-        self.tables: list[_SiteTable] = []
-        self.table_of: list[int] = []
-        for fp in footprints:
-            idx = table_index.get(fp)
-            if idx is None:
-                idx = len(self.tables)
-                table_index[fp] = idx
-                self.tables.append(_SiteTable(grid, fp))
-            self.table_of.append(idx)
-        self.anchors_x = [self.tables[t].anchors_x for t in self.table_of]
-        self.y_step = [self.tables[t].y_step for t in self.table_of]
-        self.y_max = [self.tables[t].y_max for t in self.table_of]
-        self.n_y = [self.tables[t].n_y for t in self.table_of]
-        self.areas = [self.tables[t].area for t in self.table_of]
-        self.pos: list[tuple[int, int] | None] = [None] * self.n
-        # Incident edges per instance for O(deg) cost deltas.
-        self.incident: list[list[int]] = [[] for _ in range(self.n)]
-        for ei, (a, b, _w) in enumerate(edges):
-            self.incident[a].append(ei)
-            self.incident[b].append(ei)
-        self.illegal = 0
-        self.move_attempts = 0
-        self.place_attempts = 0
-        self.swap_attempts = 0
-        self.move_accepts = 0
-        self.place_accepts = 0
-        self.swap_accepts = 0
-
-    # ------------------------------------------------------------ primitives
-
-    def fits(self, i: int, x: int, y: int) -> bool:
-        raise NotImplementedError
-
-    def paint(self, i: int, x: int, y: int, delta: int) -> None:
-        raise NotImplementedError
-
-    def set_pos(self, i: int, p: tuple[int, int] | None) -> None:
-        self.pos[i] = p
-
-    def incident_cost(self, i: int) -> float:
-        raise NotImplementedError
-
-    def wirelength(self) -> float:
-        raise NotImplementedError
-
-    def lowest_fit_y(self, i: int, x: int, bound: int | None = None) -> int | None:
-        """Lowest legal anchor row for ``i`` in column ``x``.
-
-        Rows at or above ``bound`` are rejected (the greedy packer's
-        cannot-beat-the-best pruning).
-        """
-        raise NotImplementedError
-
-    def occupancy_array(self) -> np.ndarray:
-        raise NotImplementedError
-
-    # ------------------------------------------------------------ cost
-
-    def total_cost(self) -> float:
-        pen = self.params.unplaced_weight * sum(
-            self.areas[i] for i in range(self.n) if self.pos[i] is None
-        )
-        return self.wirelength() + pen
-
-    # ------------------------------------------------------------ initial
-
-    def greedy_initial(self) -> None:
-        """Tallest-first best-fit packing.
-
-        For each block, all compatible x anchors are scanned and the
-        globally lowest fitting position is taken, which keeps the
-        skyline level — the classic strip-packing heuristic.  Blocks are
-        ordered by height, then area, so tall blocks claim full columns
-        before shorter ones fragment them.
-        """
-        order = sorted(
-            range(self.n),
-            key=lambda i: (-self.tables[self.table_of[i]].max_height, -self.areas[i]),
-        )
-        for i in order:
-            best: tuple[int, int] | None = None
-            for x in self.anchors_x[i]:
-                y = self.lowest_fit_y(i, x, None if best is None else best[1])
-                if y is not None and (best is None or y < best[1]):
-                    best = (x, y)
-            if best is not None:
-                self.set_pos(i, best)
-                self.paint(i, best[0], best[1], +1)
-
-    def first_fit_fill(self) -> None:
-        """Deterministic first-fit of any block SA left unplaced (the
-        random place moves only sample a few sites per attempt)."""
-        for i in range(self.n):
-            if self.pos[i] is not None:
-                continue
-            for x in self.anchors_x[i]:
-                y = self.lowest_fit_y(i, x)
-                if y is not None:
-                    self.set_pos(i, (x, y))
-                    self.paint(i, x, y, +1)
-                    break
-
-    # ------------------------------------------------------------ moves
-
-    def random_site(self, i: int, u: _UniformBuffer) -> tuple[int, int] | None:
-        xs = self.anchors_x[i]
-        if not xs or self.y_max[i] < 0:
-            return None
-        x = xs[u.index(len(xs))]
-        y = u.index(self.n_y[i]) * self.y_step[i]
-        return x, y
-
-    def try_move(self, i: int, temp: float, u: _UniformBuffer) -> float:
-        """Relocate instance ``i``; returns the accepted cost delta."""
-        self.move_attempts += 1
-        site = self.random_site(i, u)
-        if site is None:
-            return 0.0
-        old = self.pos[i]
-        assert old is not None
-        self.paint(i, old[0], old[1], -1)
-        x, y = site
-        if not self.fits(i, x, y):
-            self.paint(i, old[0], old[1], +1)
-            self.illegal += 1
-            return 0.0
-        before = self.incident_cost(i)
-        self.set_pos(i, (x, y))
-        after = self.incident_cost(i)
-        delta = after - before
-        if delta <= 0 or u.next() < math.exp(-delta / max(temp, 1e-9)):
-            self.paint(i, x, y, +1)
-            self.move_accepts += 1
-            return delta
-        self.set_pos(i, old)
-        self.paint(i, old[0], old[1], +1)
-        return 0.0
-
-    def try_place(self, i: int, u: _UniformBuffer) -> float:
-        """Attempt to place an unplaced instance (always beneficial)."""
-        self.place_attempts += 1
-        for _ in range(8):
-            site = self.random_site(i, u)
-            if site is None:
-                return 0.0
-            x, y = site
-            if self.fits(i, x, y):
-                self.set_pos(i, (x, y))
-                self.paint(i, x, y, +1)
-                self.place_accepts += 1
-                gain = self.incident_cost(i) - self.params.unplaced_weight * self.areas[i]
-                return gain
-            self.illegal += 1
-        return 0.0
-
-    def try_swap(self, i: int, j: int, temp: float, u: _UniformBuffer) -> float:
-        """Swap two placed instances with identical footprints."""
-        self.swap_attempts += 1
-        pi, pj = self.pos[i], self.pos[j]
-        if pi is None or pj is None or pi == pj:
-            return 0.0
-        before = self.incident_cost(i) + self.incident_cost(j)
-        self.set_pos(i, pj)
-        self.set_pos(j, pi)
-        after = self.incident_cost(i) + self.incident_cost(j)
-        delta = after - before
-        if delta <= 0 or u.next() < math.exp(-delta / max(temp, 1e-9)):
-            self.swap_accepts += 1
-            return delta  # identical footprints: occupancy is unchanged
-        self.set_pos(i, pi)
-        self.set_pos(j, pj)
-        return 0.0
-
-
-class _ReferenceKernel(_KernelBase):
-    """The original straightforward primitives (executable specification)."""
-
-    name = "reference"
-
-    def __init__(self, grid, names, footprints, edges, params) -> None:
-        super().__init__(grid, names, footprints, edges, params)
-        self.occ = np.zeros((grid.n_cols, grid.height_clbs), dtype=np.int16)
-        self.heights = [self.tables[t].heights_arr for t in self.table_of]
-
-    # ------------------------------------------------------------ geometry
-
-    def fits(self, i: int, x: int, y: int) -> bool:
-        hs = self.heights[i]
-        occ = self.occ
-        for c in range(hs.shape[0]):
-            h = hs[c]
-            if h and occ[x + c, y : y + h].any():
-                return False
-        return True
-
-    def paint(self, i: int, x: int, y: int, delta: int) -> None:
-        hs = self.heights[i]
-        for c in range(hs.shape[0]):
-            h = hs[c]
-            if h:
-                self.occ[x + c, y : y + h] += delta
-
-    def lowest_fit_y(self, i: int, x: int, bound: int | None = None) -> int | None:
-        for y in range(0, self.y_max[i] + 1, self.y_step[i]):
-            if bound is not None and y >= bound:
-                return None
-            if self.fits(i, x, y):
-                return y
-        return None
-
-    def occupancy_array(self) -> np.ndarray:
-        return self.occ.copy()
-
-    # ------------------------------------------------------------ cost
-
-    def center(self, i: int) -> tuple[float, float]:
-        p = self.pos[i]
-        assert p is not None
-        fp = self.fps[i]
-        return (p[0] + fp.width / 2.0, p[1] + fp.max_height / 2.0)
-
-    def edge_cost(self, ei: int) -> float:
-        a, b, w = self.edges[ei]
-        if self.pos[a] is None or self.pos[b] is None:
-            return 0.0
-        ax, ay = self.center(a)
-        bx, by = self.center(b)
-        return w * (abs(ax - bx) + abs(ay - by))
-
-    def incident_cost(self, i: int) -> float:
-        return sum(self.edge_cost(ei) for ei in self.incident[i])
-
-    def wirelength(self) -> float:
-        return sum(self.edge_cost(ei) for ei in range(len(self.edges)))
-
-
-class _FastKernel(_KernelBase):
-    """Bitmask/cached-center primitives (the default move kernel)."""
-
-    name = "fast"
-
-    def __init__(self, grid, names, footprints, edges, params) -> None:
-        super().__init__(grid, names, footprints, edges, params)
-        # Occupancy as one big-int bitmask per column: bit y set means CLB
-        # row y is occupied.  fits() is then a shift+AND per column.
-        self.colmask = [0] * grid.n_cols
-        self.masks = [self.tables[t].masks for t in self.table_of]
-        self.half_w = [self.tables[t].half_w for t in self.table_of]
-        self.half_h = [self.tables[t].half_h for t in self.table_of]
-        # Cached centers, maintained by set_pos: python lists for the
-        # scalar per-move path, numpy arrays for the vectorized gathers.
-        self.cx = [0.0] * self.n
-        self.cy = [0.0] * self.n
-        self.cxa = np.zeros(self.n, dtype=np.float64)
-        self.cya = np.zeros(self.n, dtype=np.float64)
-        self.placed_arr = np.zeros(self.n, dtype=bool)
-        # Flat edge endpoints for vectorized whole-design cost sums.
-        self.ea = np.fromiter((e[0] for e in edges), dtype=np.intp, count=len(edges))
-        self.eb = np.fromiter((e[1] for e in edges), dtype=np.intp, count=len(edges))
-        self.ew = np.fromiter((e[2] for e in edges), dtype=np.float64, count=len(edges))
-        # Neighbor lists (other endpoint, weight) per instance; nodes with
-        # many incident edges also get index arrays for a gathered sum.
-        self.nbrs: list[list[tuple[int, int]]] = [[] for _ in range(self.n)]
-        for a, b, w in edges:
-            self.nbrs[a].append((b, w))
-            self.nbrs[b].append((a, w))
-        self.nbr_idx: list[np.ndarray | None] = [None] * self.n
-        self.nbr_w: list[np.ndarray | None] = [None] * self.n
-        for i, nb in enumerate(self.nbrs):
-            if len(nb) >= _GATHER_DEGREE:
-                self.nbr_idx[i] = np.fromiter(
-                    (o for o, _ in nb), dtype=np.intp, count=len(nb)
-                )
-                self.nbr_w[i] = np.fromiter(
-                    (w for _, w in nb), dtype=np.float64, count=len(nb)
-                )
-
-    # ------------------------------------------------------------ geometry
-
-    def fits(self, i: int, x: int, y: int) -> bool:
-        cm = self.colmask
-        for c, m, _h in self.masks[i]:
-            if cm[x + c] & (m << y):
-                return False
-        return True
-
-    def paint(self, i: int, x: int, y: int, delta: int) -> None:
-        cm = self.colmask
-        if delta > 0:
-            for c, m, _h in self.masks[i]:
-                cm[x + c] |= m << y
-        else:
-            for c, m, _h in self.masks[i]:
-                cm[x + c] &= ~(m << y)
-
-    def set_pos(self, i: int, p: tuple[int, int] | None) -> None:
-        self.pos[i] = p
-        if p is None:
-            self.placed_arr[i] = False
-        else:
-            cx = p[0] + self.half_w[i]
-            cy = p[1] + self.half_h[i]
-            self.cx[i] = cx
-            self.cy[i] = cy
-            self.cxa[i] = cx
-            self.cya[i] = cy
-            self.placed_arr[i] = True
-
-    def lowest_fit_y(self, i: int, x: int, bound: int | None = None) -> int | None:
-        t = self.tables[self.table_of[i]]
-        allowed = t.allowed_mask
-        if not allowed:
-            return None
-        bad = 0
-        cm = self.colmask
-        for c, _m, h in self.masks[i]:
-            col = cm[x + c]
-            if col:
-                bad |= _dilate_down(col, h)
-        free = allowed & ~bad
-        if not free:
-            return None
-        y = (free & -free).bit_length() - 1
-        if bound is not None and y >= bound:
-            return None
-        return y
-
-    def occupancy_array(self) -> np.ndarray:
-        occ = np.zeros((self.grid.n_cols, self.grid.height_clbs), dtype=np.int16)
-        for i in range(self.n):
-            p = self.pos[i]
-            if p is None:
-                continue
-            x, y = p
-            for c, _m, h in self.masks[i]:
-                occ[x + c, y : y + h] += 1
-        return occ
-
-    # ------------------------------------------------------------ cost
-
-    def incident_cost(self, i: int) -> float:
-        if self.pos[i] is None:
-            return 0.0
-        idx = self.nbr_idx[i]
-        if idx is not None:
-            both = self.placed_arr[idx]
-            dx = np.abs(self.cxa[i] - self.cxa[idx])
-            dy = np.abs(self.cya[i] - self.cya[idx])
-            return float(np.sum(np.where(both, self.nbr_w[i] * (dx + dy), 0.0)))
-        pos = self.pos
-        cx = self.cx
-        cy = self.cy
-        xi = cx[i]
-        yi = cy[i]
-        total = 0.0
-        for o, w in self.nbrs[i]:
-            if pos[o] is not None:
-                total += w * (abs(xi - cx[o]) + abs(yi - cy[o]))
-        return total
-
-    def wirelength(self) -> float:
-        if self.ea.size == 0:
-            return 0.0
-        both = self.placed_arr[self.ea] & self.placed_arr[self.eb]
-        dx = np.abs(self.cxa[self.ea] - self.cxa[self.eb])
-        dy = np.abs(self.cya[self.ea] - self.cya[self.eb])
-        return float(np.sum(np.where(both, self.ew * (dx + dy), 0.0)))
-
-
-#: Incident-edge count above which per-move cost uses the numpy gather
-#: path; below it a scalar loop over cached centers is faster (the CNV
-#: and chain designs have degree <= 4).
-_GATHER_DEGREE = 32
-
-_KERNELS = {"fast": _FastKernel, "reference": _ReferenceKernel}
-
-
 def stitch(
     design: BlockDesign,
     footprints: dict[str, Footprint],
@@ -699,6 +64,7 @@ def stitch(
     params: SAParams | None = None,
     *,
     kernel: str = "fast",
+    initial_placements: Mapping[str, tuple[int, int] | None] | None = None,
     tracer: Tracer | NullTracer | None = None,
 ) -> StitchResult:
     """Place all instances of ``design`` on ``grid``.
@@ -718,6 +84,13 @@ def stitch(
         ``"fast"`` (bitmask occupancy, cached centers, vectorized sums)
         or ``"reference"`` (the straightforward implementation).  Both
         produce identical results for a fixed seed.
+    initial_placements:
+        Optional warm start: anchor per instance name (``None`` entries
+        and missing names stay unplaced).  Anchors are applied in
+        instance order; an anchor that no longer fits (or overlaps an
+        earlier one) leaves that instance unplaced rather than failing.
+        Without it the anneal starts from the greedy tallest-first
+        packing, exactly as before.
     tracer:
         Where the run's ``stitch`` span tree is recorded; defaults to
         the ambient tracer.  When the ambient tracer is disabled the run
@@ -732,7 +105,7 @@ def stitch(
         instrumentation.
     """
     params = params or SAParams()
-    if kernel not in _KERNELS:
+    if kernel not in KERNELS:
         raise ValueError(f"unknown kernel {kernel!r}; choose from {KERNELS}")
     ambient = tracer if tracer is not None else current_tracer()
     tr = ambient if ambient.enabled else Tracer()
@@ -743,35 +116,31 @@ def stitch(
     # tests/test_stitcher.py::test_phase_timings_tile_wall_time).
     with tr.span("stitch", kernel=kernel, seed=params.seed) as sp_root:
         with tr.span("stitch.setup") as sp_setup:
-            design.validate()
-            missing = {i.module for i in design.instances} - set(footprints)
-            if missing:
-                raise KeyError(
-                    f"missing footprints for modules: {sorted(missing)}"
-                )
-
-            names = [i.name for i in design.instances]
-            index = {n: k for k, n in enumerate(names)}
-            fps = [footprints[i.module].trimmed() for i in design.instances]
-            edges = [
-                (index[e.src], index[e.dst], e.width) for e in design.edges
-            ]
-            st = _KERNELS[kernel](grid, names, fps, edges, params)
-            # Same-module groups for swap moves.
-            groups: dict[str, list[int]] = {}
-            for k, inst in enumerate(design.instances):
-                groups.setdefault(inst.module, []).append(k)
-            swappable = [g for g in groups.values() if len(g) > 1]
+            problem = PlacementProblem.from_design(design, footprints, grid)
+            names = problem.names
+            st = problem.make_kernel(kernel, params.unplaced_weight)
+            swappable = problem.swappable
+            edges = problem.edges
 
         with tr.span("stitch.initial") as sp_initial:
-            st.greedy_initial()
+            if initial_placements is None:
+                st.greedy_initial()
+            else:
+                for i, name in enumerate(names):
+                    p = initial_placements.get(name)
+                    if p is None:
+                        continue
+                    x, y = p
+                    if st.fits(i, x, y):
+                        st.set_pos(i, (x, y))
+                        st.paint(i, x, y, +1)
             cost = st.total_cost()
             best = cost
             improvements: list[tuple[int, float]] = [(0, best)]
             last_improve = 0
             # Initial temperature: accept ~half of typical uphill deltas.
             temp = max(1.0, 0.05 * cost / max(1, len(edges)))
-            u = _UniformBuffer(
+            u = UniformBuffer(
                 np.random.default_rng(params.seed),
                 block=max(256, min(8192, 4 * params.steps_per_temp)),
             )

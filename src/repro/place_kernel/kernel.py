@@ -1,0 +1,497 @@
+"""Move kernels: the geometry/cost primitives of macro placement.
+
+Two interchangeable kernels implement overlap probing, occupancy
+painting, incremental HPWL and greedy packing under one shared contract:
+
+* ``kernel="fast"`` (default) — per-column occupancy bitmasks stored as
+  Python big-ints (an overlap probe is one shift+AND per column, and the
+  greedy packer finds the lowest legal row with a logarithmic bit
+  dilation instead of a row scan), per-footprint compatible-site tables
+  shared by every instance of a module, incrementally cached instance
+  centers, and flat numpy edge-endpoint arrays so whole-design cost
+  sums are single vectorized gathers.
+* ``kernel="reference"`` — the original straightforward implementation
+  (numpy occupancy slicing, per-edge Python sums).  Kept forever as the
+  executable specification that the fast kernel is tested against.
+
+Both kernels draw from the same batched uniform stream (see
+:class:`~repro.place_kernel.uniform.UniformBuffer`), so a fixed seed
+produces identical placements, costs and history on either kernel —
+enforced by ``tests/test_stitcher_equivalence.py``.  With the integer
+edge widths ``BlockDesign`` produces, every HPWL term is a dyadic
+rational that float64 evaluates exactly in any summation order, which
+is what makes the equivalence bitwise rather than approximate.
+
+The kernels are optimizer-agnostic: the SA stitcher
+(:mod:`repro.flow.stitcher`) and the GA evolver
+(:mod:`repro.flow.evolve`) both drive the same move/cost primitives,
+which is what makes their costs directly comparable and their legality
+guarantees shared (``tests/test_place_kernel.py``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.device.grid import DeviceGrid
+from repro.place.shapes import Footprint
+from repro.place_kernel.sites import SiteTable, dilate_down
+from repro.place_kernel.uniform import UniformBuffer
+
+__all__ = [
+    "KERNELS",
+    "FastKernel",
+    "PlacementKernel",
+    "ReferenceKernel",
+    "make_kernel",
+]
+
+#: Selectable move-kernel implementations.
+KERNELS = ("fast", "reference")
+
+
+class PlacementKernel:
+    """Shared state and move logic of one placement run.
+
+    Subclasses provide the geometry/cost primitives (``fits``, ``paint``,
+    ``set_pos``, ``incident_cost``, ``wirelength``, ``lowest_fit_y``,
+    ``occupancy_array``); everything that touches the random stream or
+    decides moves lives here, once, so both kernels behave identically
+    regardless of which optimizer drives them.
+    """
+
+    name = "?"
+
+    def __init__(
+        self,
+        grid: DeviceGrid,
+        names: list[str],
+        footprints: list[Footprint],
+        edges: list[tuple[int, int, int]],
+        unplaced_weight: float,
+    ) -> None:
+        self.grid = grid
+        self.names = names
+        self.fps = footprints
+        self.edges = edges
+        self.unplaced_weight = unplaced_weight
+        self.n = len(names)
+        # Per-footprint site tables, shared across same-module instances.
+        table_index: dict[Footprint, int] = {}
+        self.tables: list[SiteTable] = []
+        self.table_of: list[int] = []
+        for fp in footprints:
+            idx = table_index.get(fp)
+            if idx is None:
+                idx = len(self.tables)
+                table_index[fp] = idx
+                self.tables.append(SiteTable(grid, fp))
+            self.table_of.append(idx)
+        self.anchors_x = [self.tables[t].anchors_x for t in self.table_of]
+        self.y_step = [self.tables[t].y_step for t in self.table_of]
+        self.y_max = [self.tables[t].y_max for t in self.table_of]
+        self.n_y = [self.tables[t].n_y for t in self.table_of]
+        self.areas = [self.tables[t].area for t in self.table_of]
+        self.pos: list[tuple[int, int] | None] = [None] * self.n
+        # Incident edges per instance for O(deg) cost deltas.
+        self.incident: list[list[int]] = [[] for _ in range(self.n)]
+        for ei, (a, b, _w) in enumerate(edges):
+            self.incident[a].append(ei)
+            self.incident[b].append(ei)
+        self.illegal = 0
+        self.move_attempts = 0
+        self.place_attempts = 0
+        self.swap_attempts = 0
+        self.move_accepts = 0
+        self.place_accepts = 0
+        self.swap_accepts = 0
+
+    # ------------------------------------------------------------ primitives
+
+    def fits(self, i: int, x: int, y: int) -> bool:
+        raise NotImplementedError
+
+    def paint(self, i: int, x: int, y: int, delta: int) -> None:
+        raise NotImplementedError
+
+    def set_pos(self, i: int, p: tuple[int, int] | None) -> None:
+        self.pos[i] = p
+
+    def incident_cost(self, i: int) -> float:
+        raise NotImplementedError
+
+    def wirelength(self) -> float:
+        raise NotImplementedError
+
+    def lowest_fit_y(self, i: int, x: int, bound: int | None = None) -> int | None:
+        """Lowest legal anchor row for ``i`` in column ``x``.
+
+        Rows at or above ``bound`` are rejected (the greedy packer's
+        cannot-beat-the-best pruning).
+        """
+        raise NotImplementedError
+
+    def occupancy_array(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Unplace every instance and empty the occupancy.
+
+        The GA evolver decodes many genomes through one kernel; clearing
+        reuses the site tables (the expensive part of construction)
+        between decodes.
+        """
+        for i in range(self.n):
+            p = self.pos[i]
+            if p is not None:
+                self.paint(i, p[0], p[1], -1)
+            self.set_pos(i, None)
+
+    # ------------------------------------------------------------ cost
+
+    def total_cost(self) -> float:
+        pen = self.unplaced_weight * sum(
+            self.areas[i] for i in range(self.n) if self.pos[i] is None
+        )
+        return self.wirelength() + pen
+
+    # ------------------------------------------------------------ initial
+
+    def greedy_initial(self) -> None:
+        """Tallest-first best-fit packing.
+
+        For each block, all compatible x anchors are scanned and the
+        globally lowest fitting position is taken, which keeps the
+        skyline level — the classic strip-packing heuristic.  Blocks are
+        ordered by height, then area, so tall blocks claim full columns
+        before shorter ones fragment them.
+        """
+        for i in self.greedy_order():
+            best: tuple[int, int] | None = None
+            for x in self.anchors_x[i]:
+                y = self.lowest_fit_y(i, x, None if best is None else best[1])
+                if y is not None and (best is None or y < best[1]):
+                    best = (x, y)
+            if best is not None:
+                self.set_pos(i, best)
+                self.paint(i, best[0], best[1], +1)
+
+    def greedy_order(self) -> list[int]:
+        """Tallest-first, then largest-area instance order (the packing
+        heuristic's priority; also the GA's seeded elite permutation)."""
+        return sorted(
+            range(self.n),
+            key=lambda i: (-self.tables[self.table_of[i]].max_height, -self.areas[i]),
+        )
+
+    def first_fit_fill(self) -> None:
+        """Deterministic first-fit of any block the optimizer left
+        unplaced (random place moves only sample a few sites per
+        attempt)."""
+        for i in range(self.n):
+            if self.pos[i] is not None:
+                continue
+            for x in self.anchors_x[i]:
+                y = self.lowest_fit_y(i, x)
+                if y is not None:
+                    self.set_pos(i, (x, y))
+                    self.paint(i, x, y, +1)
+                    break
+
+    # ------------------------------------------------------------ moves
+
+    def random_site(self, i: int, u: UniformBuffer) -> tuple[int, int] | None:
+        xs = self.anchors_x[i]
+        if not xs or self.y_max[i] < 0:
+            return None
+        x = xs[u.index(len(xs))]
+        y = u.index(self.n_y[i]) * self.y_step[i]
+        return x, y
+
+    def try_move(self, i: int, temp: float, u: UniformBuffer) -> float:
+        """Relocate instance ``i``; returns the accepted cost delta.
+
+        ``temp`` is the Metropolis temperature; at ``temp=0.0`` the move
+        is pure hill climbing (only improving relocations accepted),
+        which is how the GA's polish phase reuses the same primitive.
+        """
+        self.move_attempts += 1
+        site = self.random_site(i, u)
+        if site is None:
+            return 0.0
+        old = self.pos[i]
+        assert old is not None
+        self.paint(i, old[0], old[1], -1)
+        x, y = site
+        if not self.fits(i, x, y):
+            self.paint(i, old[0], old[1], +1)
+            self.illegal += 1
+            return 0.0
+        before = self.incident_cost(i)
+        self.set_pos(i, (x, y))
+        after = self.incident_cost(i)
+        delta = after - before
+        if delta <= 0 or u.next() < math.exp(-delta / max(temp, 1e-9)):
+            self.paint(i, x, y, +1)
+            self.move_accepts += 1
+            return delta
+        self.set_pos(i, old)
+        self.paint(i, old[0], old[1], +1)
+        return 0.0
+
+    def try_place(self, i: int, u: UniformBuffer) -> float:
+        """Attempt to place an unplaced instance (always beneficial)."""
+        self.place_attempts += 1
+        for _ in range(8):
+            site = self.random_site(i, u)
+            if site is None:
+                return 0.0
+            x, y = site
+            if self.fits(i, x, y):
+                self.set_pos(i, (x, y))
+                self.paint(i, x, y, +1)
+                self.place_accepts += 1
+                gain = self.incident_cost(i) - self.unplaced_weight * self.areas[i]
+                return gain
+            self.illegal += 1
+        return 0.0
+
+    def try_swap(self, i: int, j: int, temp: float, u: UniformBuffer) -> float:
+        """Swap two placed instances with identical footprints."""
+        self.swap_attempts += 1
+        pi, pj = self.pos[i], self.pos[j]
+        if pi is None or pj is None or pi == pj:
+            return 0.0
+        before = self.incident_cost(i) + self.incident_cost(j)
+        self.set_pos(i, pj)
+        self.set_pos(j, pi)
+        after = self.incident_cost(i) + self.incident_cost(j)
+        delta = after - before
+        if delta <= 0 or u.next() < math.exp(-delta / max(temp, 1e-9)):
+            self.swap_accepts += 1
+            return delta  # identical footprints: occupancy is unchanged
+        self.set_pos(i, pi)
+        self.set_pos(j, pj)
+        return 0.0
+
+
+class ReferenceKernel(PlacementKernel):
+    """The original straightforward primitives (executable specification)."""
+
+    name = "reference"
+
+    def __init__(self, grid, names, footprints, edges, unplaced_weight) -> None:
+        super().__init__(grid, names, footprints, edges, unplaced_weight)
+        self.occ = np.zeros((grid.n_cols, grid.height_clbs), dtype=np.int16)
+        self.heights = [self.tables[t].heights_arr for t in self.table_of]
+
+    # ------------------------------------------------------------ geometry
+
+    def fits(self, i: int, x: int, y: int) -> bool:
+        hs = self.heights[i]
+        occ = self.occ
+        for c in range(hs.shape[0]):
+            h = hs[c]
+            if h and occ[x + c, y : y + h].any():
+                return False
+        return True
+
+    def paint(self, i: int, x: int, y: int, delta: int) -> None:
+        hs = self.heights[i]
+        for c in range(hs.shape[0]):
+            h = hs[c]
+            if h:
+                self.occ[x + c, y : y + h] += delta
+
+    def lowest_fit_y(self, i: int, x: int, bound: int | None = None) -> int | None:
+        for y in range(0, self.y_max[i] + 1, self.y_step[i]):
+            if bound is not None and y >= bound:
+                return None
+            if self.fits(i, x, y):
+                return y
+        return None
+
+    def occupancy_array(self) -> np.ndarray:
+        return self.occ.copy()
+
+    # ------------------------------------------------------------ cost
+
+    def center(self, i: int) -> tuple[float, float]:
+        p = self.pos[i]
+        assert p is not None
+        fp = self.fps[i]
+        return (p[0] + fp.width / 2.0, p[1] + fp.max_height / 2.0)
+
+    def edge_cost(self, ei: int) -> float:
+        a, b, w = self.edges[ei]
+        if self.pos[a] is None or self.pos[b] is None:
+            return 0.0
+        ax, ay = self.center(a)
+        bx, by = self.center(b)
+        return w * (abs(ax - bx) + abs(ay - by))
+
+    def incident_cost(self, i: int) -> float:
+        return sum(self.edge_cost(ei) for ei in self.incident[i])
+
+    def wirelength(self) -> float:
+        return sum(self.edge_cost(ei) for ei in range(len(self.edges)))
+
+
+class FastKernel(PlacementKernel):
+    """Bitmask/cached-center primitives (the default move kernel)."""
+
+    name = "fast"
+
+    def __init__(self, grid, names, footprints, edges, unplaced_weight) -> None:
+        super().__init__(grid, names, footprints, edges, unplaced_weight)
+        # Occupancy as one big-int bitmask per column: bit y set means CLB
+        # row y is occupied.  fits() is then a shift+AND per column.
+        self.colmask = [0] * grid.n_cols
+        self.masks = [self.tables[t].masks for t in self.table_of]
+        self.half_w = [self.tables[t].half_w for t in self.table_of]
+        self.half_h = [self.tables[t].half_h for t in self.table_of]
+        # Cached centers, maintained by set_pos: python lists for the
+        # scalar per-move path, numpy arrays for the vectorized gathers.
+        self.cx = [0.0] * self.n
+        self.cy = [0.0] * self.n
+        self.cxa = np.zeros(self.n, dtype=np.float64)
+        self.cya = np.zeros(self.n, dtype=np.float64)
+        self.placed_arr = np.zeros(self.n, dtype=bool)
+        # Flat edge endpoints for vectorized whole-design cost sums.
+        self.ea = np.fromiter((e[0] for e in edges), dtype=np.intp, count=len(edges))
+        self.eb = np.fromiter((e[1] for e in edges), dtype=np.intp, count=len(edges))
+        self.ew = np.fromiter((e[2] for e in edges), dtype=np.float64, count=len(edges))
+        # Neighbor lists (other endpoint, weight) per instance; nodes with
+        # many incident edges also get index arrays for a gathered sum.
+        self.nbrs: list[list[tuple[int, int]]] = [[] for _ in range(self.n)]
+        for a, b, w in edges:
+            self.nbrs[a].append((b, w))
+            self.nbrs[b].append((a, w))
+        self.nbr_idx: list[np.ndarray | None] = [None] * self.n
+        self.nbr_w: list[np.ndarray | None] = [None] * self.n
+        for i, nb in enumerate(self.nbrs):
+            if len(nb) >= _GATHER_DEGREE:
+                self.nbr_idx[i] = np.fromiter(
+                    (o for o, _ in nb), dtype=np.intp, count=len(nb)
+                )
+                self.nbr_w[i] = np.fromiter(
+                    (w for _, w in nb), dtype=np.float64, count=len(nb)
+                )
+
+    # ------------------------------------------------------------ geometry
+
+    def fits(self, i: int, x: int, y: int) -> bool:
+        cm = self.colmask
+        for c, m, _h in self.masks[i]:
+            if cm[x + c] & (m << y):
+                return False
+        return True
+
+    def paint(self, i: int, x: int, y: int, delta: int) -> None:
+        cm = self.colmask
+        if delta > 0:
+            for c, m, _h in self.masks[i]:
+                cm[x + c] |= m << y
+        else:
+            for c, m, _h in self.masks[i]:
+                cm[x + c] &= ~(m << y)
+
+    def set_pos(self, i: int, p: tuple[int, int] | None) -> None:
+        self.pos[i] = p
+        if p is None:
+            self.placed_arr[i] = False
+        else:
+            cx = p[0] + self.half_w[i]
+            cy = p[1] + self.half_h[i]
+            self.cx[i] = cx
+            self.cy[i] = cy
+            self.cxa[i] = cx
+            self.cya[i] = cy
+            self.placed_arr[i] = True
+
+    def lowest_fit_y(self, i: int, x: int, bound: int | None = None) -> int | None:
+        t = self.tables[self.table_of[i]]
+        allowed = t.allowed_mask
+        if not allowed:
+            return None
+        bad = 0
+        cm = self.colmask
+        for c, _m, h in self.masks[i]:
+            col = cm[x + c]
+            if col:
+                bad |= dilate_down(col, h)
+        free = allowed & ~bad
+        if not free:
+            return None
+        y = (free & -free).bit_length() - 1
+        if bound is not None and y >= bound:
+            return None
+        return y
+
+    def occupancy_array(self) -> np.ndarray:
+        occ = np.zeros((self.grid.n_cols, self.grid.height_clbs), dtype=np.int16)
+        for i in range(self.n):
+            p = self.pos[i]
+            if p is None:
+                continue
+            x, y = p
+            for c, _m, h in self.masks[i]:
+                occ[x + c, y : y + h] += 1
+        return occ
+
+    # ------------------------------------------------------------ cost
+
+    def incident_cost(self, i: int) -> float:
+        if self.pos[i] is None:
+            return 0.0
+        idx = self.nbr_idx[i]
+        if idx is not None:
+            both = self.placed_arr[idx]
+            dx = np.abs(self.cxa[i] - self.cxa[idx])
+            dy = np.abs(self.cya[i] - self.cya[idx])
+            return float(np.sum(np.where(both, self.nbr_w[i] * (dx + dy), 0.0)))
+        pos = self.pos
+        cx = self.cx
+        cy = self.cy
+        xi = cx[i]
+        yi = cy[i]
+        total = 0.0
+        for o, w in self.nbrs[i]:
+            if pos[o] is not None:
+                total += w * (abs(xi - cx[o]) + abs(yi - cy[o]))
+        return total
+
+    def wirelength(self) -> float:
+        if self.ea.size == 0:
+            return 0.0
+        both = self.placed_arr[self.ea] & self.placed_arr[self.eb]
+        dx = np.abs(self.cxa[self.ea] - self.cxa[self.eb])
+        dy = np.abs(self.cya[self.ea] - self.cya[self.eb])
+        return float(np.sum(np.where(both, self.ew * (dx + dy), 0.0)))
+
+
+#: Incident-edge count above which per-move cost uses the numpy gather
+#: path; below it a scalar loop over cached centers is faster (the CNV
+#: and chain designs have degree <= 4).
+_GATHER_DEGREE = 32
+
+_KERNELS: dict[str, type[PlacementKernel]] = {
+    "fast": FastKernel,
+    "reference": ReferenceKernel,
+}
+
+
+def make_kernel(
+    kernel: str,
+    grid: DeviceGrid,
+    names: list[str],
+    footprints: list[Footprint],
+    edges: list[tuple[int, int, int]],
+    unplaced_weight: float,
+) -> PlacementKernel:
+    """Instantiate a move kernel by name (``"fast"`` or ``"reference"``)."""
+    if kernel not in _KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; choose from {KERNELS}")
+    return _KERNELS[kernel](grid, names, footprints, edges, unplaced_weight)

@@ -1,0 +1,88 @@
+"""Compatible-site geometry shared by every placement optimizer.
+
+A :class:`SiteTable` caches, per unique (trimmed) footprint, everything
+the move kernels need to probe and paint the device: compatible anchor
+columns, the hard-block row pitch, per-column occupancy bitmasks and the
+allowed-anchor-row mask.  Sharing one table across every instance of a
+module means a design with heavy reuse (cnvW1A1: 175 instances / 74
+modules) builds each table once.
+"""
+
+from __future__ import annotations
+
+from repro.device.column import ColumnKind
+from repro.device.grid import DeviceGrid
+from repro.place.shapes import Footprint
+
+__all__ = ["HARD_KINDS", "HARD_PITCH", "SiteTable", "dilate_down"]
+
+#: Column kinds whose sites span several CLB rows.
+HARD_KINDS = (ColumnKind.BRAM, ColumnKind.DSP)
+#: CLB rows per BRAM/DSP site (anchor rows must be multiples of this).
+HARD_PITCH = 5
+
+
+def dilate_down(mask: int, h: int) -> int:
+    """OR of ``mask >> k`` for ``k`` in ``[0, h)`` (logarithmic doubling).
+
+    Bit ``y`` of the result is set iff ``mask`` has any bit in
+    ``[y, y + h)`` — i.e. the set of anchor rows a column of height ``h``
+    collides at.
+    """
+    out = mask
+    covered = 1
+    while covered < h:
+        s = min(covered, h - covered)
+        out |= out >> s
+        covered += s
+    return out
+
+
+class SiteTable:
+    """Compatible-site table of one unique (trimmed) footprint.
+
+    Shared by every instance of the same module, so a design with heavy
+    reuse builds each table once.
+    """
+
+    __slots__ = (
+        "footprint",
+        "anchors_x",
+        "y_step",
+        "y_max",
+        "n_y",
+        "area",
+        "max_height",
+        "half_w",
+        "half_h",
+        "heights_arr",
+        "masks",
+        "allowed_mask",
+    )
+
+    def __init__(self, grid: DeviceGrid, fp: Footprint) -> None:
+        self.footprint = fp
+        self.anchors_x = grid.compatible_x_anchors(fp.col_kinds)
+        self.y_step = (
+            HARD_PITCH if any(k in HARD_KINDS for k in fp.col_kinds) else 1
+        )
+        self.y_max = grid.height_clbs - fp.max_height
+        self.n_y = self.y_max // self.y_step + 1 if self.y_max >= 0 else 0
+        self.area = fp.occupied_clbs
+        self.max_height = fp.max_height
+        self.half_w = fp.width / 2.0
+        self.half_h = fp.max_height / 2.0
+        self.heights_arr = fp.heights_array()
+        self.masks = tuple(
+            (c, (1 << int(h)) - 1, int(h))
+            for c, h in enumerate(fp.heights)
+            if h
+        )
+        allowed = 0
+        if self.y_max >= 0:
+            if self.y_step == 1:
+                allowed = (1 << (self.y_max + 1)) - 1
+            else:
+                for y in range(0, self.y_max + 1, self.y_step):
+                    allowed |= 1 << y
+        self.allowed_mask = allowed

@@ -217,6 +217,35 @@ class TestStitchCommand:
         assert "3 placed, 0 unplaced" in out
         assert "kernel=fast" in out
 
+    def test_evolve_defaults(self):
+        args = build_parser().parse_args(["evolve", "d.json"])
+        assert args.budget == 20000
+        assert args.population == 16
+        assert args.restarts == 1
+        assert args.kernel == "fast"
+
+    def test_evolve_runs(self, design_json, capsys):
+        assert main(["evolve", design_json, "--budget", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-stitch on xc7z020" in out
+        assert "placed" in out
+        assert "generations" in out  # GA phase breakdown, not SA's
+
+    def test_evolve_restarts(self, design_json, capsys):
+        assert (
+            main(
+                [
+                    "evolve", design_json,
+                    "--budget", "800",
+                    "--restarts", "2",
+                    "--seed", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "kernel=fast" in out
+
     def test_stitch_restarts_and_render(self, design_json, capsys):
         assert (
             main(

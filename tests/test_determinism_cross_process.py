@@ -73,6 +73,36 @@ print(hashlib.sha256(payload.encode()).hexdigest())
 """
 
 
+# evolve_best (the GA placer) must be bitwise identical in any
+# interpreter and with any worker count; __N_WORKERS__ is substituted
+# before running.
+_EVOLVE_SNIPPET = """
+import hashlib, json
+from repro.device import xc7z020
+from repro.device.column import ColumnKind
+from repro.flow.evolve import GAParams
+from repro.flow.restarts import evolve_best
+from repro.flow.blockdesign import BlockDesign
+from repro.place.shapes import Footprint
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.constructs import RandomLogicCloud
+
+d = BlockDesign(name="det-evolve")
+d.add_module(RTLModule.make("m", [RandomLogicCloud(n_luts=4)]))
+fp = Footprint((ColumnKind.CLBLL, ColumnKind.CLBLM), (10, 10))
+for i in range(8):
+    d.add_instance(f"i{i}", "m")
+for i in range(7):
+    d.connect(f"i{i}", f"i{i+1}", width=4)
+best = evolve_best(d, {"m": fp}, xc7z020(),
+                   GAParams(move_budget=1500, seed=2),
+                   seeds=[2, 3, 4], n_workers=__N_WORKERS__)
+placement = sorted((k, v) for k, v in best.placements.items())
+payload = json.dumps([placement, best.final_cost, best.stats.seed])
+print(hashlib.sha256(payload.encode()).hexdigest())
+"""
+
+
 def _run(snippet: str = _SNIPPET) -> str:
     out = subprocess.run(
         [sys.executable, "-c", snippet],
@@ -93,6 +123,13 @@ class TestCrossProcessDeterminism:
         serial = _run(_RESTART_SNIPPET.replace("__N_WORKERS__", "0"))
         serial_again = _run(_RESTART_SNIPPET.replace("__N_WORKERS__", "0"))
         parallel = _run(_RESTART_SNIPPET.replace("__N_WORKERS__", "2"))
+        assert serial == serial_again == parallel
+
+    def test_evolve_best_worker_independent(self):
+        """GA runs are bitwise identical across processes and workers."""
+        serial = _run(_EVOLVE_SNIPPET.replace("__N_WORKERS__", "0"))
+        serial_again = _run(_EVOLVE_SNIPPET.replace("__N_WORKERS__", "0"))
+        parallel = _run(_EVOLVE_SNIPPET.replace("__N_WORKERS__", "2"))
         assert serial == serial_again == parallel
 
     def test_dataset_generation_worker_independent(self):

@@ -83,6 +83,67 @@ class TestEvaluate:
         assert "base" in out and "pareto" in out
 
 
+class TestPortfolio:
+    def _design(self):
+        d = BlockDesign(name="dse-portfolio")
+        d.add_module(_module("pe", 240))
+        d.add_module(_module("mem", 100))
+        for i in range(3):
+            d.add_instance(f"pe{i}", "pe")
+        d.add_instance("mem0", "mem")
+        d.connect("mem0", "pe0")
+        d.connect("pe0", "pe1")
+        d.connect("pe1", "pe2")
+        return d
+
+    def test_default_is_single_sa(self, explorer):
+        assert [p.name for p in explorer.placers] == ["sa"]
+        assert explorer.evaluate("base").placer == "sa"
+
+    def test_portfolio_registers_all_three(self, z020):
+        ex = DSEExplorer(
+            self._design(), z020, FixedCF(1.7),
+            sa_params=SAParams(max_iters=1200, seed=0),
+            placers="portfolio",
+        )
+        assert [p.name for p in ex.placers] == ["sa", "ga", "warm-sa"]
+        p = ex.evaluate("base")
+        assert p.placer in {"sa", "ga", "warm-sa"}
+
+    def test_portfolio_no_worse_than_sa_alone(self, z020):
+        """The portfolio keeps the pareto-best placement per scenario."""
+        sa_only = DSEExplorer(
+            self._design(), z020, FixedCF(1.7),
+            sa_params=SAParams(max_iters=1200, seed=0),
+        )
+        portfolio = DSEExplorer(
+            self._design(), z020, FixedCF(1.7),
+            sa_params=SAParams(max_iters=1200, seed=0),
+            placers="portfolio",
+        )
+        assert portfolio.evaluate("base").n_unplaced <= (
+            sa_only.evaluate("base").n_unplaced
+        )
+
+    def test_explicit_placer_list(self, z020):
+        from repro.flow.placers import GAPlacer
+        from repro.flow.evolve import GAParams
+
+        ex = DSEExplorer(
+            self._design(), z020, FixedCF(1.7),
+            placers=[GAPlacer(params=GAParams(move_budget=1200, seed=0))],
+        )
+        assert ex.evaluate("base").placer == "ga"
+
+    def test_bad_portfolio_name_rejected(self, z020):
+        with pytest.raises(ValueError, match="unknown placer portfolio"):
+            DSEExplorer(self._design(), z020, FixedCF(1.7), placers="zoo")
+
+    def test_empty_placers_rejected(self, z020):
+        with pytest.raises(ValueError, match="must not be empty"):
+            DSEExplorer(self._design(), z020, FixedCF(1.7), placers=[])
+
+
 class TestPareto:
     def _pt(self, label, area, ns, unplaced=0):
         return DSEPoint(

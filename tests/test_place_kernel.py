@@ -1,0 +1,242 @@
+"""Property-based legality suite for the shared placement kernel.
+
+The kernel is the one component every optimizer trusts blindly: SA
+anneals through it and the GA decodes/polishes through it, so a legality
+hole here corrupts *every* placer at once.  These tests drive random
+move/repair sequences straight through the kernel API — the exact ops
+SA and GA compose (``greedy_initial``, ``try_move``/``try_place``/
+``try_swap``, ``clear`` + genome-order re-decode, ``first_fit_fill``) —
+and assert the geometric contract after every sequence, on both the
+fast and the reference kernel:
+
+* no overlap (occupancy never exceeds one anywhere);
+* anchors in bounds and on column runs matching the footprint kinds;
+* hard-block columns only at the BRAM/DSP site pitch;
+* cost consistency (``total_cost == wirelength + penalty``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.column import ColumnKind
+from repro.device.grid import DeviceGrid
+from repro.flow.blockdesign import BlockDesign
+from repro.place.shapes import Footprint
+from repro.place_kernel import (
+    HARD_KINDS,
+    HARD_PITCH,
+    KERNELS,
+    PlacementProblem,
+    UniformBuffer,
+    dilate_down,
+    make_kernel,
+)
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.constructs import RandomLogicCloud
+
+_LL = ColumnKind.CLBLL
+_LM = ColumnKind.CLBLM
+_BR = ColumnKind.BRAM
+_DS = ColumnKind.DSP
+
+_GRID = DeviceGrid.from_kinds(
+    "pk",
+    [_LL, _LM, _BR, _LL, _LM, _DS, _LL, _LM, _LL, _LL],
+    n_regions=1,
+)
+
+_PATTERNS = [
+    (_LL,),
+    (_LM,),
+    (_LL, _LM),
+    (_LM, _LL),
+    (_BR,),
+    (_LM, _DS),
+    (_LL, _LM, _BR),
+]
+
+_footprints = st.lists(
+    st.tuples(st.sampled_from(_PATTERNS), st.integers(1, 30)),
+    min_size=1,
+    max_size=8,
+)
+
+#: A move/repair program: op kind plus a raw integer the interpreter
+#: maps onto instance indices / temperatures.
+_ops = st.lists(
+    st.tuples(st.sampled_from(["move", "place", "swap", "redecode", "fill"]),
+              st.integers(0, 1 << 16)),
+    min_size=1,
+    max_size=40,
+)
+
+_kernels = pytest.mark.parametrize("kernel", list(KERNELS))
+
+
+def _build(fp_specs):
+    d = BlockDesign(name="pk")
+    fps = {}
+    for k, (kinds, h) in enumerate(fp_specs):
+        # Reuse one module per distinct spec so swap groups exist.
+        name = f"m{fp_specs.index((kinds, h))}"
+        if name not in fps:
+            d.add_module(RTLModule.make(name, [RandomLogicCloud(n_luts=2)]))
+            fps[name] = Footprint(kinds, (h,) * len(kinds))
+        d.add_instance(f"i{k}", name)
+        if k:
+            d.connect(f"i{k - 1}", f"i{k}", width=2)
+    return PlacementProblem.from_design(d, fps, _GRID)
+
+
+def _run_program(kernel, fp_specs, ops, seed):
+    """Interpret a random op program on a fresh kernel."""
+    problem = _build(fp_specs)
+    kb = problem.make_kernel(kernel, 40.0)
+    kb.greedy_initial()
+    u = UniformBuffer(np.random.default_rng(seed), block=256)
+    for op, raw in ops:
+        i = raw % kb.n
+        if op == "move":
+            if kb.pos[i] is not None:
+                kb.try_move(i, float(raw % 7), u)
+        elif op == "place":
+            if kb.pos[i] is None:
+                kb.try_place(i, u)
+        elif op == "swap":
+            if problem.swappable:
+                g = problem.swappable[raw % len(problem.swappable)]
+                a, b = g[raw % len(g)], g[(raw + 1) % len(g)]
+                if a != b:
+                    kb.try_swap(a, b, float(raw % 5), u)
+        elif op == "redecode":
+            # The GA's decode step: clear and re-pack in genome order,
+            # repairing to legality by scanning compatible columns.
+            kb.clear()
+            order = sorted(range(kb.n), key=lambda j: (j * raw + 7) % (kb.n + 3))
+            for j in order:
+                xs = kb.anchors_x[j]
+                if not xs:
+                    continue
+                pref = raw % len(xs)
+                for off in range(len(xs)):
+                    x = xs[(pref + off) % len(xs)]
+                    y = kb.lowest_fit_y(j, x)
+                    if y is not None:
+                        kb.set_pos(j, (x, y))
+                        kb.paint(j, x, y, +1)
+                        break
+        elif op == "fill":
+            kb.first_fit_fill()
+    return problem, kb
+
+
+def _assert_legal(problem, kb):
+    occ = kb.occupancy_array()
+    assert occ.max(initial=0) <= 1, "overlapping placements"
+    all_kinds = _GRID.kinds()
+    for i in range(kb.n):
+        pos = kb.pos[i]
+        if pos is None:
+            continue
+        fp = problem.footprints[i]
+        x, y = pos
+        assert 0 <= x and x + fp.width <= _GRID.n_cols
+        assert 0 <= y <= _GRID.height_clbs - fp.max_height
+        assert all_kinds[x : x + fp.width] == fp.col_kinds
+        if any(kind in HARD_KINDS for kind in fp.col_kinds):
+            assert y % HARD_PITCH == 0
+
+
+class TestKernelLegality:
+    """Random op programs preserve the legality invariants."""
+
+    @_kernels
+    @given(_footprints, _ops, st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_program_preserves_legality(self, kernel, fp_specs, ops, seed):
+        problem, kb = _run_program(kernel, fp_specs, ops, seed)
+        _assert_legal(problem, kb)
+
+    @_kernels
+    @given(_footprints, _ops, st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_cost_consistent_after_program(self, kernel, fp_specs, ops, seed):
+        """``total_cost`` always decomposes into wirelength + penalty."""
+        _problem, kb = _run_program(kernel, fp_specs, ops, seed)
+        penalty = 40.0 * sum(
+            kb.areas[i] for i in range(kb.n) if kb.pos[i] is None
+        )
+        assert kb.total_cost() == kb.wirelength() + penalty
+
+    @given(_footprints, _ops, st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_kernels_agree_on_program(self, fp_specs, ops, seed):
+        """Both kernels execute the identical program identically."""
+        p_fast, fast = _run_program("fast", fp_specs, ops, seed)
+        p_ref, ref = _run_program("reference", fp_specs, ops, seed)
+        assert fast.pos == ref.pos
+        assert fast.total_cost() == ref.total_cost()
+        assert np.array_equal(fast.occupancy_array(), ref.occupancy_array())
+        assert fast.illegal == ref.illegal
+
+    @_kernels
+    @given(_footprints, st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_clear_then_greedy_is_idempotent(self, kernel, fp_specs, seed):
+        """clear() fully unpaints: a re-decode reproduces the packing."""
+        problem = _build(fp_specs)
+        kb = problem.make_kernel(kernel, 40.0)
+        kb.greedy_initial()
+        first = (list(kb.pos), kb.total_cost())
+        kb.clear()
+        assert all(p is None for p in kb.pos)
+        assert kb.occupancy_array().max(initial=0) == 0
+        kb.greedy_initial()
+        assert (list(kb.pos), kb.total_cost()) == first
+
+
+class TestKernelPrimitives:
+    def test_greedy_order_tallest_first(self):
+        problem = _build([((_LL,), 30), ((_LM,), 5), ((_LL, _LM), 12)])
+        kb = problem.make_kernel("fast", 40.0)
+        order = kb.greedy_order()
+        heights = [kb.tables[kb.table_of[i]].max_height for i in order]
+        assert heights == sorted(heights, reverse=True)
+
+    def test_make_kernel_rejects_unknown(self):
+        problem = _build([((_LL,), 4)])
+        with pytest.raises(ValueError, match="unknown kernel"):
+            make_kernel("turbo", _GRID, list(problem.names),
+                        list(problem.footprints), list(problem.edges), 40.0)
+
+    def test_problem_missing_footprint_raises(self):
+        d = BlockDesign(name="missing")
+        d.add_module(RTLModule.make("m", [RandomLogicCloud(n_luts=2)]))
+        d.add_instance("i0", "m")
+        with pytest.raises(KeyError, match="missing footprints"):
+            PlacementProblem.from_design(d, {}, _GRID)
+
+    def test_problem_swap_groups(self):
+        problem = _build([((_LL,), 4), ((_LL,), 4), ((_LM,), 6)])
+        assert problem.swappable == ((0, 1),)
+        assert problem.n == 3
+
+    def test_dilate_down(self):
+        # Dilating a single occupied row by height h blocks the h
+        # anchor rows whose span would cover it.
+        mask = 1 << 10
+        assert dilate_down(mask, 1) == mask
+        dil = dilate_down(mask, 3)
+        assert dil == (mask | mask >> 1 | mask >> 2)
+
+    def test_uniform_buffer_matches_unbatched(self):
+        """The batched stream is exactly the generator's raw stream."""
+        u = UniformBuffer(np.random.default_rng(3), block=8)
+        raw = np.random.default_rng(3).random(20).tolist()
+        assert [u.next() for _ in range(20)] == raw
+
+    def test_uniform_index_in_range(self):
+        u = UniformBuffer(np.random.default_rng(0), block=16)
+        assert all(0 <= u.index(7) < 7 for _ in range(200))

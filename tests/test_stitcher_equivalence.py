@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.device.column import ColumnKind
+from repro.device.grid import DeviceGrid
 from repro.flow.blockdesign import BlockDesign
 from repro.flow.stitcher import SAParams, stitch
 from repro.place.shapes import Footprint
@@ -20,6 +21,38 @@ from repro.rtlgen.constructs import RandomLogicCloud
 
 _LL = ColumnKind.CLBLL
 _LM = ColumnKind.CLBLM
+
+#: Degenerate fabrics the z020-only suite never exercised: a grid so
+#: narrow that footprints have a single anchor column, and a grid built
+#: from one site type only (every anchor run overlaps every other).
+_GRID_CASES = {
+    "narrow": (
+        DeviceGrid.from_kinds("narrow", [_LL, _LM, _LL], n_regions=1),
+        {
+            "pair": Footprint((_LL, _LM), (10, 10)),
+            "tall": Footprint((_LM,), (22,)),
+        },
+    ),
+    "single-type": (
+        DeviceGrid.from_kinds("single", [_LL] * 6, n_regions=1),
+        {
+            "pair": Footprint((_LL, _LL), (8, 8)),
+            "tall": Footprint((_LL,), (18,)),
+        },
+    ),
+}
+
+
+def _case_design(fps: dict[str, Footprint], n: int = 10) -> BlockDesign:
+    d = BlockDesign(name="gridcase")
+    for name in fps:
+        d.add_module(RTLModule.make(name, [RandomLogicCloud(n_luts=4)]))
+    mods = list(fps)
+    for i in range(n):
+        d.add_instance(f"i{i}", mods[i % len(mods)])
+    for i in range(n - 1):
+        d.connect(f"i{i}", f"i{i + 1}", width=1 + i % 3)
+    return d
 
 
 def _mixed_design(n_instances: int) -> tuple[BlockDesign, dict[str, Footprint]]:
@@ -80,6 +113,47 @@ class TestKernelEquivalence:
         ):
             assert getattr(fast, name) == getattr(ref, name), name
         assert fast.temperature_trace == ref.temperature_trace
+
+
+@pytest.mark.parametrize("case", sorted(_GRID_CASES))
+@pytest.mark.parametrize("seed", [0, 3])
+class TestGridShapeEquivalence:
+    """Equivalence on degenerate fabrics (narrow / single site type).
+
+    These shapes stress the fast kernel differently from the z020: a
+    narrow grid leaves one compatible anchor per footprint (every move
+    is a same-column shuffle), and a single-site-type grid makes every
+    anchor run overlap, maximizing bitmask aliasing between columns.
+    """
+
+    def test_identical_results(self, case, seed):
+        grid, fps = _GRID_CASES[case]
+        d = _case_design(fps)
+        params = SAParams(max_iters=2000, seed=seed)
+        fast = stitch(d, fps, grid, params, kernel="fast")
+        ref = stitch(d, fps, grid, params, kernel="reference")
+        assert fast.placements == ref.placements
+        assert fast.final_cost == ref.final_cost
+        assert fast.wirelength == ref.wirelength
+        assert fast.history == ref.history
+        assert fast.illegal_moves == ref.illegal_moves
+        assert np.array_equal(fast.occupancy, ref.occupancy)
+
+    def test_placements_legal(self, case, seed):
+        """Both kernels respect the degenerate grid's geometry."""
+        grid, fps = _GRID_CASES[case]
+        d = _case_design(fps)
+        res = stitch(d, fps, grid, SAParams(max_iters=2000, seed=seed))
+        assert res.occupancy.max(initial=0) <= 1
+        kinds = grid.kinds()
+        for k in range(len(d.instances)):
+            pos = res.placements[f"i{k}"]
+            if pos is None:
+                continue
+            fp = fps[d.instances[k].module].trimmed()
+            x, y = pos
+            assert kinds[x : x + fp.width] == fp.col_kinds
+            assert 0 <= y <= grid.height_clbs - fp.max_height
 
 
 class TestKernelSelection:
