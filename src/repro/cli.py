@@ -11,6 +11,7 @@ Usage::
     python -m repro stitch design.json --cf 1.5 --restarts 4  # place a design
     python -m repro stitch design.json --profile --trace-out trace.json
     python -m repro evolve design.json --budget 20000 --restarts 4  # GA placer
+    python -m repro temper design.json --budget 20000 --chains 4  # parallel tempering
     python -m repro trace summarize trace.json  # render a saved trace
     python -m repro lint src benchmarks --format github  # static analysis
     python -m repro report [-n 2000] [-o EXPERIMENTS.md]  # all experiments
@@ -177,6 +178,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_ev.add_argument("--render", action="store_true",
                       help="print the ASCII occupancy map")
     _add_trace_args(p_ev)
+
+    p_pt = sub.add_parser(
+        "temper",
+        help="pre-implement and place a saved block design with "
+        "cooperative parallel tempering",
+    )
+    p_pt.add_argument("design", help="design JSON (see export-design)")
+    p_pt.add_argument("--part", default="xc7z020")
+    pt_cf_group = p_pt.add_mutually_exclusive_group()
+    pt_cf_group.add_argument("--cf", type=float, default=1.5,
+                             help="constant correction factor")
+    pt_cf_group.add_argument("--minimal", action="store_true",
+                             help="use the ground-truth minimal CF per module")
+    p_pt.add_argument("--kernel", choices=list(_SA_KERNELS), default="fast")
+    p_pt.add_argument("--budget", type=int, default=20000,
+                      help="total kernel-move budget across all chains "
+                      "(comparable to SA --sa-iters)")
+    p_pt.add_argument("--chains", type=int, default=4,
+                      help="replica chains on the temperature ladder")
+    p_pt.add_argument("--steps-per-round", type=int, default=250,
+                      help="moves per chain per synchronization round")
+    p_pt.add_argument("--swap-period", type=int, default=4,
+                      help="rounds between replica-exchange events")
+    p_pt.add_argument("--restarts", type=int, default=1,
+                      help="independent tempering seeds; the best run wins")
+    p_pt.add_argument("--workers", type=int, default=0,
+                      help="worker processes (chains for a single run, "
+                      "seeds with --restarts > 1; 0 = serial)")
+    p_pt.add_argument("--seed", type=int, default=0)
+    p_pt.add_argument("--render", action="store_true",
+                      help="print the ASCII occupancy map")
+    _add_trace_args(p_pt)
 
     p_lint = sub.add_parser(
         "lint",
@@ -485,6 +518,62 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_temper(args: argparse.Namespace) -> int:
+    from repro.device import make_part
+    from repro.flow.design_io import load_design
+    from repro.flow.policy import FixedCF, MinimalCFPolicy
+    from repro.flow.rwflow import run_rw_flow
+    from repro.flow.tempering import PTParams
+
+    design = load_design(args.design)
+    grid = make_part(args.part)
+    policy = MinimalCFPolicy() if args.minimal else FixedCF(args.cf)
+    tracer = _make_tracer(args)
+    res = run_rw_flow(
+        design,
+        grid,
+        policy,
+        placer="pt",
+        pt_params=PTParams(
+            max_iters=args.budget,
+            n_chains=args.chains,
+            steps_per_round=args.steps_per_round,
+            swap_period=args.swap_period,
+            seed=args.seed,
+        ),
+        kernel=args.kernel,
+        n_seeds=args.restarts,
+        n_workers=args.workers or None,
+        tracer=tracer,
+    )
+    s = res.stitch
+    _emit_trace(tracer, args)
+    print(
+        f"{design.name} on {grid.name}: {s.n_placed} placed, "
+        f"{s.n_unplaced} unplaced, wirelength {s.wirelength:.1f}, "
+        f"cost {s.final_cost:.1f}"
+    )
+    print(
+        f"  converged at move {s.converged_at}/{s.iterations}, "
+        f"{s.illegal_moves} illegal moves, {res.total_tool_runs} tool runs"
+    )
+    if s.stats is not None:
+        st = s.stats
+        print(
+            f"  kernel={st.kernel} seed={st.seed} "
+            f"accept rate {st.accept_rate * 100:.1f}%, "
+            f"{st.total_s:.2f}s "
+            f"(init {st.initial_s:.2f} + rounds {st.anneal_s:.2f} "
+            f"+ exchange {st.fill_s:.2f})"
+        )
+    if args.render:
+        print(s.render())
+    if not res.ok:
+        print(res.infeasible.describe())
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import lint_paths, render, render_rule_table, render_statistics
     from repro.lint.report import statistics_json
@@ -540,6 +629,7 @@ _COMMANDS = {
     "preimpl": _cmd_preimpl,
     "stitch": _cmd_stitch,
     "evolve": _cmd_evolve,
+    "temper": _cmd_temper,
     "lint": _cmd_lint,
     "trace": _cmd_trace,
     "report": _cmd_report,

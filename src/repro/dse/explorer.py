@@ -24,6 +24,7 @@ from repro.flow.preimpl import ImplementedModule, implement_module
 from repro.flow.stitcher import SAParams, StitchResult
 from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.place_kernel.protocol import Placer
+from repro.place_kernel.result import pareto_key
 from repro.rtlgen.base import RTLModule
 from repro.utils.tables import Table
 
@@ -269,9 +270,8 @@ class DSEExplorer:
                     res = placer.place(
                         stitchable, footprints, self.stitch_grid, tracer=tr
                     )
-                    if best_stitched is None or (
-                        (res.n_unplaced, res.final_cost)
-                        < (best_stitched.n_unplaced, best_stitched.final_cost)
+                    if best_stitched is None or pareto_key(res) < pareto_key(
+                        best_stitched
                     ):
                         best_stitched = res
                         winner_name = placer.name

@@ -13,12 +13,17 @@
   shared via :mod:`repro.place_kernel`);
 * :mod:`repro.flow.evolve` — the evolutionary (GA) macro placer driving
   the same move kernel and objective as the stitcher;
+* :mod:`repro.flow.tempering` — cooperative parallel tempering (replica
+  exchange across a ladder of SA chains over the same kernel);
 * :mod:`repro.flow.placers` — the optimizer portfolio (SA, GA,
-  warm-started SA) behind the
+  warm-started SA, parallel tempering) behind the
   :class:`~repro.place_kernel.protocol.Placer` protocol;
+* :mod:`repro.flow.fanout` — the shared order-preserving process
+  fan-out and pareto winner selection;
 * :mod:`repro.flow.restarts` — multi-seed placement restarts
   (:func:`~repro.flow.restarts.stitch_best`,
-  :func:`~repro.flow.restarts.evolve_best`);
+  :func:`~repro.flow.restarts.evolve_best`,
+  :func:`~repro.flow.restarts.temper_best`);
 * :mod:`repro.flow.monolithic` — the flat "AMD EDA"-style whole-device
   flow used as the paper's baseline (Table I, Fig. 5a);
 * :mod:`repro.flow.rwflow` — the end-to-end RapidWright-style flow;
@@ -47,6 +52,7 @@ from repro.flow.monolithic import MonolithicResult, monolithic_flow
 from repro.flow.placers import (
     GAPlacer,
     SAPlacer,
+    TemperedSAPlacer,
     WarmStartedSAPlacer,
     default_portfolio,
 )
@@ -75,7 +81,7 @@ from repro.flow.prflow import (
     plan_partitions,
     refloorplan,
 )
-from repro.flow.restarts import evolve_best, stitch_best
+from repro.flow.restarts import evolve_best, stitch_best, temper_best
 from repro.flow.results import FlowComparison, compare_flows
 from repro.flow.rwflow import RWFlowResult, run_rw_flow
 from repro.flow.stitcher import (
@@ -85,6 +91,7 @@ from repro.flow.stitcher import (
     StitchStats,
     stitch,
 )
+from repro.flow.tempering import PTParams, temper
 
 __all__ = [
     "Bitstream",
@@ -110,6 +117,7 @@ __all__ = [
     "ModuleFlowStats",
     "MonolithicResult",
     "PRPlan",
+    "PTParams",
     "Partition",
     "PreImplResult",
     "RWFlowResult",
@@ -118,6 +126,7 @@ __all__ = [
     "StitchResult",
     "StitchStats",
     "SweepCF",
+    "TemperedSAPlacer",
     "WarmStartedSAPlacer",
     "analyze_design",
     "apply_update",
@@ -140,4 +149,6 @@ __all__ = [
     "save_design",
     "stitch",
     "stitch_best",
+    "temper",
+    "temper_best",
 ]

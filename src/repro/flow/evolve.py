@@ -40,9 +40,9 @@ from repro.device.grid import DeviceGrid
 from repro.flow.blockdesign import BlockDesign
 from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.place.shapes import Footprint
-from repro.place_kernel.kernel import KERNELS, PlacementKernel
+from repro.place_kernel.kernel import KERNELS, PlacementKernel, run_move_batch
 from repro.place_kernel.problem import PlacementProblem
-from repro.place_kernel.result import StitchResult, StitchStats
+from repro.place_kernel.result import StitchResult, StitchStats, converge_history
 from repro.place_kernel.uniform import UniformBuffer
 
 __all__ = ["GAParams", "evolve"]
@@ -144,15 +144,6 @@ def _decode(st: PlacementKernel, g: _Genome, budget: _Budget) -> float:
                 break
     budget.charge(max(1, st.n))
     return st.total_cost()
-
-
-def _restore(st: PlacementKernel, positions: list[tuple[int, int] | None]) -> None:
-    """Re-paint a snapshot of a legal placement onto an empty device."""
-    st.clear()
-    for i, p in enumerate(positions):
-        if p is not None:
-            st.set_pos(i, p)
-            st.paint(i, p[0], p[1], +1)
 
 
 def _micro_polish(
@@ -347,7 +338,7 @@ def evolve(
             # Hill-climb the best placement ever seen with the shared
             # move kernel for the remaining budget, then repair any
             # leftover unplaced blocks deterministically.
-            _restore(st, best_pos)
+            st.restore(best_pos)
             budget.charge(decode_cost)
             cost = st.total_cost()
             if cost < best_fit:
@@ -355,42 +346,24 @@ def evolve(
                 history.append((budget.used, best_fit))
             placed_list = [i for i in range(n) if st.pos[i] is not None]
             unplaced_list = [i for i in range(n) if st.pos[i] is None]
-            while budget.remaining() > 0:
-                budget.charge(1)
-                r = u.next()
-                if unplaced_list and r < params.p_place:
-                    k = u.index(len(unplaced_list))
-                    i = unplaced_list[k]
-                    cost += st.try_place(i, u)
-                    if st.pos[i] is not None:
-                        unplaced_list[k] = unplaced_list[-1]
-                        unplaced_list.pop()
-                        placed_list.append(i)
-                elif swappable and r < params.p_place + params.p_swap:
-                    g = swappable[u.index(len(swappable))]
-                    i = u.index(len(g))
-                    j = u.index(len(g) - 1)
-                    if j >= i:
-                        j += 1
-                    cost += st.try_swap(g[i], g[j], 0.0, u)
-                else:
-                    if not placed_list:
-                        continue
-                    i = placed_list[u.index(len(placed_list))]
-                    cost += st.try_move(i, 0.0, u)
-                if cost < best_fit - 1e-9:
-                    best_fit = cost
-                    history.append((budget.used, best_fit))
+            steps = budget.remaining()
+            if steps > 0:
+                start = budget.used
+                cost, best_fit, events = run_move_batch(
+                    st, swappable, placed_list, unplaced_list,
+                    steps, 0.0, params.p_place, params.p_swap, u, cost, best_fit,
+                )
+                budget.charge(steps)
+                for off, c in events:
+                    history.append((start + off, c))
             st.first_fit_fill()
 
-            initial_cost = history[0][1]
-            final_best = history[-1][1]
-            threshold = final_best + 0.01 * max(0.0, initial_cost - final_best)
-            converged_at = next(
-                (op for op, c in history if c <= threshold), history[-1][0]
-            )
             wirelength = st.wirelength()
             final_cost = st.total_cost()
+            hist, converged_at = converge_history(
+                history, final_cost, budget.used
+            )
+            history = list(hist)
             occupancy = st.occupancy_array()
             placements = {names[i]: st.pos[i] for i in range(n)}
             n_placed = sum(1 for p in st.pos if p is not None)

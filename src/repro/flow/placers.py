@@ -1,6 +1,6 @@
 """Concrete :class:`~repro.place_kernel.protocol.Placer` implementations.
 
-The optimizer portfolio: three interchangeable placers behind one
+The optimizer portfolio: four interchangeable placers behind one
 protocol, all driving the same move kernel and scoring the same
 objective, so their results are directly comparable —
 
@@ -8,9 +8,11 @@ objective, so their results are directly comparable —
 * :class:`GAPlacer` — the evolutionary placer;
 * :class:`WarmStartedSAPlacer` — a short GA pass whose best placement
   warm-starts a (budget-reduced) anneal, the classic global-then-local
-  pipeline.
+  pipeline;
+* :class:`TemperedSAPlacer` — cooperative parallel tempering (replica
+  exchange across a temperature ladder of SA chains).
 
-``default_portfolio`` builds all three at one total move budget each,
+``default_portfolio`` builds all four at one total move budget each,
 which is what :class:`~repro.dse.explorer.DSEExplorer` runs per variant
 when portfolio mode is enabled.
 """
@@ -24,6 +26,7 @@ from repro.device.grid import DeviceGrid
 from repro.flow.blockdesign import BlockDesign
 from repro.flow.evolve import GAParams, evolve
 from repro.flow.stitcher import SAParams, stitch
+from repro.flow.tempering import PTParams, temper
 from repro.obs.tracer import NullTracer, Tracer
 from repro.place.shapes import Footprint
 from repro.place_kernel.result import StitchResult
@@ -31,6 +34,7 @@ from repro.place_kernel.result import StitchResult
 __all__ = [
     "GAPlacer",
     "SAPlacer",
+    "TemperedSAPlacer",
     "WarmStartedSAPlacer",
     "default_portfolio",
 ]
@@ -137,18 +141,55 @@ class WarmStartedSAPlacer:
         return result
 
 
+@dataclass(frozen=True)
+class TemperedSAPlacer:
+    """Cooperative parallel tempering as a portfolio member.
+
+    Runs :func:`~repro.flow.tempering.temper`'s replica-exchange ladder
+    with its chains in-process (``n_workers=None``) — the DSE explorer
+    already fans variants out over processes, and the result is bitwise
+    identical either way.
+    """
+
+    params: PTParams = field(default_factory=PTParams)
+    kernel: str = "fast"
+    name: str = "pt"
+
+    def place(
+        self,
+        design: BlockDesign,
+        footprints: Mapping[str, Footprint],
+        grid: DeviceGrid,
+        *,
+        tracer: Tracer | NullTracer | None = None,
+    ) -> StitchResult:
+        return temper(
+            design, dict(footprints), grid, self.params,
+            kernel=self.kernel, tracer=tracer,
+        )
+
+
 def default_portfolio(
     sa_params: SAParams | None = None, kernel: str = "fast"
-) -> tuple[SAPlacer, GAPlacer, WarmStartedSAPlacer]:
-    """SA, GA and warm-started SA at the same total move budget each."""
+) -> tuple[SAPlacer, GAPlacer, WarmStartedSAPlacer, TemperedSAPlacer]:
+    """SA, GA, warm-started SA and parallel tempering at the same total
+    move budget each."""
     params = sa_params or SAParams()
     ga = GAParams(
         move_budget=params.max_iters,
         unplaced_weight=params.unplaced_weight,
         seed=params.seed,
     )
+    pt = PTParams(
+        max_iters=params.max_iters,
+        unplaced_weight=params.unplaced_weight,
+        p_place=params.p_place,
+        p_swap=params.p_swap,
+        seed=params.seed,
+    )
     return (
         SAPlacer(params=params, kernel=kernel),
         GAPlacer(params=ga, kernel=kernel),
         WarmStartedSAPlacer(params=params, kernel=kernel),
+        TemperedSAPlacer(params=pt, kernel=kernel),
     )

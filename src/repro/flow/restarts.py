@@ -1,11 +1,20 @@
-"""Multi-seed placement restarts (SA and GA).
+"""Multi-seed placement restarts (SA, GA and parallel tempering).
 
 Stochastic placers are cheap to restart and their final cost varies
 with the seed, so the classic quality lever (RapidLayout-style
 stochastic placement) is to run several independent seeds and keep the
-best run.  ``stitch_best`` does exactly that for the SA stitcher and
-``evolve_best`` for the GA evolver, optionally fanning the seeds out
-over worker processes with :mod:`concurrent.futures`.
+best run.  ``stitch_best`` does exactly that for the SA stitcher,
+``evolve_best`` for the GA evolver and ``temper_best`` for the
+parallel-tempering placer, fanning the seeds out over worker processes
+through the shared :class:`~repro.flow.fanout.FanOut`.
+
+Winner selection is the shared pareto path
+(:func:`~repro.flow.fanout.best_result`): fewest unplaced blocks first,
+then lowest ``final_cost`` — the same key
+:class:`~repro.dse.explorer.DSEExplorer` ranks portfolio placements by.
+Ranking on ``final_cost`` alone (the old behavior) was a bug: a seed
+that leaves a block unplaced can undercut a fully-placed seed on cost
+alone (``tests/test_stitcher_restarts.py`` pins the regression).
 
 Determinism: the winner depends only on the seed list — results are
 collected in seed order and ties break toward the earliest seed — so the
@@ -16,18 +25,19 @@ regardless of ``n_workers`` (enforced by
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.device.grid import DeviceGrid
 from repro.flow.blockdesign import BlockDesign
 from repro.flow.evolve import GAParams, evolve
+from repro.flow.fanout import FanOut, best_result, graft_traces
 from repro.flow.stitcher import SAParams, StitchResult, stitch
+from repro.flow.tempering import PTParams, temper
 from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.place.shapes import Footprint
 
-__all__ = ["evolve_best", "stitch_best"]
+__all__ = ["evolve_best", "stitch_best", "temper_best"]
 
 
 def _run_one(
@@ -60,6 +70,37 @@ def _run_one_evolve(
     result = evolve(design, footprints, grid, params, kernel=kernel, tracer=tr)
     trace = tr.roots[0].to_json_dict() if tr else None
     return result, trace
+
+
+def _run_one_temper(
+    args: tuple[
+        BlockDesign, dict[str, Footprint], DeviceGrid, PTParams, str, bool
+    ],
+) -> tuple[StitchResult, dict | None]:
+    """Tempering worker entry point (module-level so it pickles).
+
+    Each restart runs its chains serially inside the worker — the
+    restart family is already the process-level fan-out.
+    """
+    design, footprints, grid, params, kernel, want_trace = args
+    tr = Tracer() if want_trace else None
+    result = temper(design, footprints, grid, params, kernel=kernel, tracer=tr)
+    trace = tr.roots[0].to_json_dict() if tr else None
+    return result, trace
+
+
+def _seed_family(
+    base_seed: int, n_seeds: int, seeds: Sequence[int] | None
+) -> list[int]:
+    """Expand the restart family's seed list (shared by all families)."""
+    if seeds is None:
+        if n_seeds < 1:
+            raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
+        return [base_seed + k for k in range(n_seeds)]
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("seeds must not be empty")
+    return seeds
 
 
 def stitch_best(
@@ -101,25 +142,17 @@ def stitch_best(
     Returns
     -------
     StitchResult
-        The run with the lowest ``final_cost``; ties break toward the
-        earliest seed in the list.  ``result.stats.seed`` records the
-        winning seed.
+        The pareto-best run — fewest unplaced blocks, then lowest
+        ``final_cost`` (the same key ``DSEExplorer`` selects by); ties
+        break toward the earliest seed in the list.
+        ``result.stats.seed`` records the winning seed.
     """
     params = params or SAParams()
-    if seeds is None:
-        if n_seeds < 1:
-            raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
-        seeds = [params.seed + k for k in range(n_seeds)]
-    else:
-        seeds = list(seeds)
-        if not seeds:
-            raise ValueError("seeds must not be empty")
-
+    seeds = _seed_family(params.seed, n_seeds, seeds)
     ambient = tracer if tracer is not None else current_tracer()
-    want_trace = ambient.enabled
-
     jobs = [
-        (design, footprints, grid, replace(params, seed=s), kernel, want_trace)
+        (design, footprints, grid, replace(params, seed=s), kernel,
+         ambient.enabled)
         for s in seeds
     ]
     return _best_of(jobs, _run_one, "stitch.restarts", ambient, n_workers)
@@ -140,54 +173,73 @@ def evolve_best(
     """Evolve several independent GA seeds and return the best run.
 
     The GA peer of :func:`stitch_best`: same seed-family expansion, same
-    process fan-out, same worker-count-independent winner (results are
+    process fan-out, same worker-count-independent pareto winner
+    (fewest unplaced blocks, then lowest ``final_cost``; results are
     collected in seed order, ties break toward the earliest seed).  The
     ``evolve.restarts`` span records one child ``evolve`` span per seed.
     """
     params = params or GAParams()
-    if seeds is None:
-        if n_seeds < 1:
-            raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
-        seeds = [params.seed + k for k in range(n_seeds)]
-    else:
-        seeds = list(seeds)
-        if not seeds:
-            raise ValueError("seeds must not be empty")
-
+    seeds = _seed_family(params.seed, n_seeds, seeds)
     ambient = tracer if tracer is not None else current_tracer()
-    want_trace = ambient.enabled
-
     jobs = [
-        (design, footprints, grid, replace(params, seed=s), kernel, want_trace)
+        (design, footprints, grid, replace(params, seed=s), kernel,
+         ambient.enabled)
         for s in seeds
     ]
     return _best_of(jobs, _run_one_evolve, "evolve.restarts", ambient, n_workers)
 
 
-def _best_of(jobs, runner, span_name, ambient, n_workers) -> StitchResult:
-    """Fan the seed jobs out, graft worker traces, keep the best run."""
+def temper_best(
+    design: BlockDesign,
+    footprints: dict[str, Footprint],
+    grid: DeviceGrid,
+    params: PTParams | None = None,
+    *,
+    n_seeds: int = 4,
+    n_workers: int | None = None,
+    seeds: Sequence[int] | None = None,
+    kernel: str = "fast",
+    tracer: Tracer | NullTracer | None = None,
+) -> StitchResult:
+    """Run several independent tempering seeds and return the best run.
+
+    The parallel-tempering peer of :func:`stitch_best`: same seed-family
+    expansion, same process fan-out, same worker-count-independent
+    pareto winner.  Each seed's chains run serially inside its worker
+    (the family is already the process-level fan-out); the
+    ``tempering.restarts`` span records one child ``tempering`` span per
+    seed.
+    """
+    params = params or PTParams()
+    seeds = _seed_family(params.seed, n_seeds, seeds)
+    ambient = tracer if tracer is not None else current_tracer()
+    jobs = [
+        (design, footprints, grid, replace(params, seed=s), kernel,
+         ambient.enabled)
+        for s in seeds
+    ]
+    return _best_of(
+        jobs, _run_one_temper, "tempering.restarts", ambient, n_workers
+    )
+
+
+def _best_of(
+    jobs: list,
+    runner: Callable,
+    span_name: str,
+    ambient: Tracer | NullTracer,
+    n_workers: int | None,
+) -> StitchResult:
+    """Fan the seed jobs out, graft worker traces, keep the pareto-best run."""
     want_trace = ambient.enabled
     with ambient.span(span_name, n_seeds=len(jobs)) as sp:
-        if n_workers is None or n_workers <= 1 or len(jobs) == 1:
-            outcomes = [runner(job) for job in jobs]
-        else:
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=min(n_workers, len(jobs))
-                ) as pool:
-                    # map() preserves seed order, which the tiebreak relies on.
-                    outcomes = list(pool.map(runner, jobs))
-            except OSError:  # process pools unavailable (restricted sandboxes)
-                outcomes = [runner(job) for job in jobs]
+        with FanOut(n_workers, len(jobs)) as fan:
+            outcomes = fan.run(runner, jobs)
         if want_trace:
-            for _result, trace in outcomes:
-                ambient.graft(trace)
+            graft_traces(ambient, [trace for _result, trace in outcomes])
 
-        results = [result for result, _trace in outcomes]
-        best = results[0]
-        for res in results[1:]:
-            if res.final_cost < best.final_cost:
-                best = res
+        best = best_result([result for result, _trace in outcomes])
         sp.set_attr("winner_seed", best.stats.seed if best.stats else None)
         sp.set_attr("best_cost", best.final_cost)
+        sp.set_attr("best_unplaced", best.n_unplaced)
     return best

@@ -27,8 +27,9 @@ from repro.flow.preimpl import (
     implement_design,
 )
 from repro.flow.evolve import GAParams, evolve
-from repro.flow.restarts import evolve_best, stitch_best
+from repro.flow.restarts import evolve_best, stitch_best, temper_best
 from repro.flow.stitcher import SAParams, StitchResult, stitch
+from repro.flow.tempering import PTParams, temper
 from repro.obs.tracer import NullTracer, Tracer, current_tracer
 
 __all__ = ["RWFlowResult", "run_rw_flow"]
@@ -90,6 +91,7 @@ def run_rw_flow(
     sa_params: SAParams | None = None,
     placer: str = "sa",
     ga_params: GAParams | None = None,
+    pt_params: PTParams | None = None,
     kernel: str = "fast",
     n_seeds: int = 1,
     n_workers: int | None = None,
@@ -116,10 +118,13 @@ def run_rw_flow(
         Stitcher annealing parameters (used when ``placer="sa"``).
     placer:
         Which portfolio optimizer places the design: ``"sa"`` (the
-        annealing stitcher, the default) or ``"ga"`` (the evolutionary
-        placer of :mod:`repro.flow.evolve`).
+        annealing stitcher, the default), ``"ga"`` (the evolutionary
+        placer of :mod:`repro.flow.evolve`) or ``"pt"`` (cooperative
+        parallel tempering, :mod:`repro.flow.tempering`).
     ga_params:
         GA parameters when ``placer="ga"`` (``None`` = defaults).
+    pt_params:
+        Tempering parameters when ``placer="pt"`` (``None`` = defaults).
     kernel:
         Stitcher move-kernel (``"fast"`` or ``"reference"``).
     n_seeds:
@@ -163,9 +168,9 @@ def run_rw_flow(
 
         missing = [i for i in design.instances if i.module not in footprints]
         stitchable = design if not missing else design.subset(set(footprints))
-        if placer not in ("sa", "ga"):
+        if placer not in ("sa", "ga", "pt"):
             raise ValueError(
-                f"unknown placer {placer!r}; choose from ('sa', 'ga')"
+                f"unknown placer {placer!r}; choose from ('sa', 'ga', 'pt')"
             )
         if stitchable.instances:
             if placer == "ga":
@@ -179,6 +184,18 @@ def run_rw_flow(
                     result = evolve(
                         stitchable, footprints, target, ga_params,
                         kernel=kernel, tracer=ambient,
+                    )
+            elif placer == "pt":
+                if n_seeds > 1:
+                    result = temper_best(
+                        stitchable, footprints, target, pt_params,
+                        n_seeds=n_seeds, n_workers=n_workers, kernel=kernel,
+                        tracer=ambient,
+                    )
+                else:
+                    result = temper(
+                        stitchable, footprints, target, pt_params,
+                        kernel=kernel, n_workers=n_workers, tracer=ambient,
                     )
             elif n_seeds > 1:
                 result = stitch_best(

@@ -31,9 +31,9 @@ from repro.device.grid import DeviceGrid
 from repro.flow.blockdesign import BlockDesign
 from repro.obs.tracer import NullTracer, Tracer, current_tracer
 from repro.place.shapes import Footprint
-from repro.place_kernel.kernel import KERNELS
+from repro.place_kernel.kernel import KERNELS, run_move_batch
 from repro.place_kernel.problem import PlacementProblem
-from repro.place_kernel.result import StitchResult, StitchStats
+from repro.place_kernel.result import StitchResult, StitchStats, converge_history
 from repro.place_kernel.uniform import UniformBuffer
 
 __all__ = ["KERNELS", "SAParams", "StitchResult", "StitchStats", "stitch"]
@@ -153,35 +153,16 @@ def stitch(
             temp_trace: list[tuple[int, float]] = []
             it = 0
             while it < params.max_iters:
-                for _ in range(params.steps_per_temp):
-                    it += 1
-                    r = u.next()
-                    if unplaced_list and r < params.p_place:
-                        k = u.index(len(unplaced_list))
-                        i = unplaced_list[k]
-                        cost += st.try_place(i, u)
-                        if st.pos[i] is not None:
-                            unplaced_list[k] = unplaced_list[-1]
-                            unplaced_list.pop()
-                            placed_list.append(i)
-                    elif swappable and r < params.p_place + params.p_swap:
-                        g = swappable[u.index(len(swappable))]
-                        i = u.index(len(g))
-                        j = u.index(len(g) - 1)
-                        if j >= i:
-                            j += 1
-                        cost += st.try_swap(g[i], g[j], temp, u)
-                    else:
-                        if not placed_list:
-                            continue
-                        i = placed_list[u.index(len(placed_list))]
-                        cost += st.try_move(i, temp, u)
-                    if cost < best - 1e-9:
-                        best = cost
-                        improvements.append((it, best))
-                        last_improve = it
-                    if it >= params.max_iters:
-                        break
+                steps = min(params.steps_per_temp, params.max_iters - it)
+                cost, best, events = run_move_batch(
+                    st, swappable, placed_list, unplaced_list,
+                    steps, temp, params.p_place, params.p_swap, u, cost, best,
+                )
+                for off, c in events:
+                    improvements.append((it + off, c))
+                if events:
+                    last_improve = it + events[-1][0]
+                it += steps
                 temp_trace.append((it, temp))
                 temp *= params.alpha
                 if it - last_improve > params.patience:
@@ -193,18 +174,14 @@ def stitch(
             # keep tiling the run: the convergence scan and the final
             # cost/occupancy extraction used to fall outside every
             # phase, making the recorded phases sum short of the wall
-            # time.  Convergence point: the first iteration whose best
-            # cost is within 1% of the total descent from the final
-            # cost.
-            initial_cost = improvements[0][1]
-            final_best = improvements[-1][1]
-            threshold = final_best + 0.01 * max(0.0, initial_cost - final_best)
-            converged_at = next(
-                (it_ for it_, c in improvements if c <= threshold),
-                improvements[-1][0],
-            )
+            # time.  The convergence threshold is anchored at the true
+            # post-fill final cost (converge_history appends a terminal
+            # history event when the fill changed the cost).
             wirelength = st.wirelength()
             final_cost = st.total_cost()
+            history, converged_at = converge_history(
+                improvements, final_cost, it
+            )
             occupancy = st.occupancy_array()
             placements = {names[i]: st.pos[i] for i in range(st.n)}
             n_placed = sum(1 for p in st.pos if p is not None)
@@ -253,7 +230,7 @@ def stitch(
         iterations=it,
         converged_at=converged_at,
         illegal_moves=st.illegal,
-        history=tuple(improvements),
+        history=history,
         occupancy=occupancy,
         stats=stats,
     )

@@ -46,6 +46,7 @@ __all__ = [
     "PlacementKernel",
     "ReferenceKernel",
     "make_kernel",
+    "run_move_batch",
 ]
 
 #: Selectable move-kernel implementations.
@@ -148,6 +149,19 @@ class PlacementKernel:
             if p is not None:
                 self.paint(i, p[0], p[1], -1)
             self.set_pos(i, None)
+
+    def restore(self, positions: list[tuple[int, int] | None]) -> None:
+        """Re-paint a snapshot of a legal placement onto an empty device.
+
+        The GA evolver and the tempering chains both round-trip
+        placements through position snapshots; restoring reuses the site
+        tables (the expensive part of construction) between runs.
+        """
+        self.clear()
+        for i, p in enumerate(positions):
+            if p is not None:
+                self.set_pos(i, p)
+                self.paint(i, p[0], p[1], +1)
 
     # ------------------------------------------------------------ cost
 
@@ -495,3 +509,67 @@ def make_kernel(
     if kernel not in _KERNELS:
         raise ValueError(f"unknown kernel {kernel!r}; choose from {KERNELS}")
     return _KERNELS[kernel](grid, names, footprints, edges, unplaced_weight)
+
+
+def run_move_batch(
+    st: PlacementKernel,
+    swappable: list[list[int]],
+    placed_list: list[int],
+    unplaced_list: list[int],
+    steps: int,
+    temp: float,
+    p_place: float,
+    p_swap: float,
+    u: UniformBuffer,
+    cost: float,
+    best: float,
+    snapshot: list | None = None,
+) -> tuple[float, float, list[tuple[int, float]]]:
+    """Run ``steps`` operations of the shared SA move mix at ``temp``.
+
+    This is *the* move loop every optimizer in the flow executes — the
+    SA stitcher's anneal, the GA's polish/repair phase (at ``temp=0.0``)
+    and each parallel-tempering chain all call it, so their draw order
+    and acceptance behavior are identical by construction.  One call
+    consumes exactly ``steps`` units of the shared kernel-operation
+    budget (one unit == one SA iteration == one GA budget unit).
+
+    ``placed_list`` / ``unplaced_list`` are mutated in place (membership
+    changes on successful place moves).  Returns ``(cost, best,
+    events)`` where ``events`` lists every new best as a 1-based
+    ``(op_offset, cost)`` pair within the batch.  When ``snapshot`` is a
+    list, the position vector at each new best replaces its contents —
+    the tempering chains need the best-*ever* placement, not the
+    batch-end state; left as ``None`` (the SA/GA callers) no copies are
+    made and the loop is unchanged.
+    """
+    events: list[tuple[int, float]] = []
+    p_either = p_place + p_swap
+    for op in range(1, steps + 1):
+        r = u.next()
+        if unplaced_list and r < p_place:
+            k = u.index(len(unplaced_list))
+            i = unplaced_list[k]
+            cost += st.try_place(i, u)
+            if st.pos[i] is not None:
+                unplaced_list[k] = unplaced_list[-1]
+                unplaced_list.pop()
+                placed_list.append(i)
+        elif swappable and r < p_either:
+            g = swappable[u.index(len(swappable))]
+            i = u.index(len(g))
+            j = u.index(len(g) - 1)
+            if j >= i:
+                j += 1
+            cost += st.try_swap(g[i], g[j], temp, u)
+        else:
+            if not placed_list:
+                continue
+            i = placed_list[u.index(len(placed_list))]
+            cost += st.try_move(i, temp, u)
+        if cost < best - 1e-9:
+            best = cost
+            events.append((op, best))
+            if snapshot is not None:
+                snapshot[:] = [list(st.pos)]
+    return cost, best, events

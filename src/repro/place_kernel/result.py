@@ -14,7 +14,59 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["StitchResult", "StitchStats"]
+__all__ = ["StitchResult", "StitchStats", "converge_history", "pareto_key"]
+
+
+def pareto_key(result: "StitchResult") -> tuple[int, float]:
+    """The shared placement-quality ordering: ``(n_unplaced, final_cost)``.
+
+    Fewer unplaced blocks always beats lower cost — a run that leaves a
+    block on the floor is structurally worse however cheap its
+    wirelength looks.  Used by :class:`~repro.dse.explorer.DSEExplorer`
+    across its optimizer portfolio and by
+    :func:`~repro.flow.fanout.best_result` for the restart-family
+    winner, so every winner-selection path in the flow ranks runs the
+    same way.
+    """
+    return (result.n_unplaced, result.final_cost)
+
+
+def converge_history(
+    history: list[tuple[int, float]] | tuple[tuple[int, float], ...],
+    final_cost: float,
+    at_op: int,
+) -> tuple[tuple[tuple[int, float], ...], int]:
+    """Fold the post-fill cost into a best-cost trajectory and locate the
+    convergence point.
+
+    The optimizers track best-cost improvements during their move
+    phases, but the deterministic ``first_fit_fill`` afterwards can
+    change the cost once more — so the convergence threshold must be
+    anchored at the *true* ``final_cost``, not the move-phase best.
+    When the fill improved on the trajectory, a terminal
+    ``(at_op, final_cost)`` event is appended; when the fill was a
+    no-op (or the optimizer's end state drifted above its best — SA
+    returns its final state, not its best) the trajectory is returned
+    byte-identical, which keeps the golden histories pinned.
+
+    ``converged_at`` is the first event within 1% of the total descent
+    from the trajectory's final cost (the paper's convergence-speed
+    metric).
+
+    Returns ``(history, converged_at)`` with ``history`` as a tuple.
+    """
+    hist = list(history)
+    if not hist:
+        return (), 0
+    if final_cost < hist[-1][1] - 1e-9:
+        hist.append((at_op, final_cost))
+    initial_cost = hist[0][1]
+    final_best = hist[-1][1]
+    threshold = final_best + 0.01 * max(0.0, initial_cost - final_best)
+    converged_at = next(
+        (op for op, c in hist if c <= threshold), hist[-1][0]
+    )
+    return tuple(hist), converged_at
 
 
 @dataclass(frozen=True)

@@ -246,6 +246,39 @@ class TestStitchCommand:
         out = capsys.readouterr().out
         assert "kernel=fast" in out
 
+    def test_temper_defaults(self):
+        args = build_parser().parse_args(["temper", "d.json"])
+        assert args.budget == 20000
+        assert args.chains == 4
+        assert args.steps_per_round == 250
+        assert args.swap_period == 4
+        assert args.restarts == 1
+        assert args.kernel == "fast"
+
+    def test_temper_runs(self, design_json, capsys):
+        assert main(["temper", design_json, "--budget", "800",
+                     "--chains", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-stitch on xc7z020" in out
+        assert "3 placed, 0 unplaced" in out
+        assert "rounds" in out  # PT phase breakdown, not SA's
+
+    def test_temper_restarts(self, design_json, capsys):
+        assert (
+            main(
+                [
+                    "temper", design_json,
+                    "--budget", "800",
+                    "--chains", "2",
+                    "--restarts", "2",
+                    "--seed", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "kernel=fast" in out
+
     def test_stitch_restarts_and_render(self, design_json, capsys):
         assert (
             main(

@@ -103,6 +103,38 @@ print(hashlib.sha256(payload.encode()).hexdigest())
 """
 
 
+# Parallel tempering must be bitwise identical in any interpreter and
+# with any worker count — n_workers here fans the *chains* out inside
+# one temper() run, the tightest determinism contract in the flow;
+# __N_WORKERS__ is substituted before running.
+_TEMPER_SNIPPET = """
+import hashlib, json
+from repro.device import xc7z020
+from repro.device.column import ColumnKind
+from repro.flow.blockdesign import BlockDesign
+from repro.flow.tempering import PTParams, temper
+from repro.place.shapes import Footprint
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.constructs import RandomLogicCloud
+
+d = BlockDesign(name="det-temper")
+d.add_module(RTLModule.make("m", [RandomLogicCloud(n_luts=4)]))
+fp = Footprint((ColumnKind.CLBLL, ColumnKind.CLBLM), (10, 10))
+for i in range(8):
+    d.add_instance(f"i{i}", "m")
+for i in range(7):
+    d.connect(f"i{i}", f"i{i+1}", width=4)
+res = temper(d, {"m": fp}, xc7z020(),
+             PTParams(max_iters=2000, n_chains=4, steps_per_round=100,
+                      seed=2),
+             n_workers=__N_WORKERS__)
+placement = sorted((k, v) for k, v in res.placements.items())
+payload = json.dumps([placement, res.final_cost, list(res.history),
+                      res.stats.move_attempts, res.stats.illegal_moves])
+print(hashlib.sha256(payload.encode()).hexdigest())
+"""
+
+
 def _run(snippet: str = _SNIPPET) -> str:
     out = subprocess.run(
         [sys.executable, "-c", snippet],
@@ -130,6 +162,14 @@ class TestCrossProcessDeterminism:
         serial = _run(_EVOLVE_SNIPPET.replace("__N_WORKERS__", "0"))
         serial_again = _run(_EVOLVE_SNIPPET.replace("__N_WORKERS__", "0"))
         parallel = _run(_EVOLVE_SNIPPET.replace("__N_WORKERS__", "2"))
+        assert serial == serial_again == parallel
+
+    def test_temper_worker_independent(self):
+        """One temper() run is bitwise identical across processes and
+        for any chain-level worker count."""
+        serial = _run(_TEMPER_SNIPPET.replace("__N_WORKERS__", "0"))
+        serial_again = _run(_TEMPER_SNIPPET.replace("__N_WORKERS__", "0"))
+        parallel = _run(_TEMPER_SNIPPET.replace("__N_WORKERS__", "4"))
         assert serial == serial_again == parallel
 
     def test_dataset_generation_worker_independent(self):

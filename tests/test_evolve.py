@@ -153,7 +153,9 @@ class TestPlacers:
     def test_all_satisfy_protocol(self):
         for placer in default_portfolio():
             assert isinstance(placer, Placer)
-        assert {p.name for p in default_portfolio()} == {"sa", "ga", "warm-sa"}
+        assert {p.name for p in default_portfolio()} == {
+            "sa", "ga", "warm-sa", "pt"
+        }
 
     def test_sa_placer_equals_stitch(self, chain, z020):
         d, fps = chain
@@ -181,10 +183,12 @@ class TestPlacers:
         assert a.occupancy.max(initial=0) <= 1
 
     def test_portfolio_equal_budget(self):
-        sa, ga, warm = default_portfolio(SAParams(max_iters=4321, seed=9))
+        sa, ga, warm, pt = default_portfolio(SAParams(max_iters=4321, seed=9))
         assert ga.params.move_budget == 4321
         assert ga.params.seed == 9
         assert warm.params.max_iters == 4321
+        assert pt.params.max_iters == 4321
+        assert pt.params.seed == 9
 
 
 class TestStitchWarmStart:

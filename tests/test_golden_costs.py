@@ -15,6 +15,7 @@ from repro.device.column import ColumnKind
 from repro.flow.blockdesign import BlockDesign
 from repro.flow.evolve import GAParams, evolve
 from repro.flow.stitcher import SAParams, stitch
+from repro.flow.tempering import PTParams, temper
 from repro.place.shapes import Footprint
 from repro.rtlgen.base import RTLModule
 from repro.rtlgen.constructs import RandomLogicCloud
@@ -38,6 +39,19 @@ _GA_GOLDEN = {
     0: {"final_cost": 5021.0, "wirelength": 61.0, "n_placed": 8},
     1: {"final_cost": 5034.0, "wirelength": 74.0, "n_placed": 8},
     2: {"final_cost": 5036.0, "wirelength": 76.0, "n_placed": 8},
+}
+
+#: PTParams(max_iters=3000, n_chains=4, steps_per_round=100, seed=s) on
+#: the same fixture — pins the tempering round plan, exchange schedule
+#: and RNG stream layout (any change to the merge order or the exchange
+#: draws shows up here as an exact-equality failure).
+_PT_GOLDEN = {
+    0: {"final_cost": 5033.0, "wirelength": 73.0, "n_placed": 8,
+        "converged_at": 900},
+    1: {"final_cost": 5080.0, "wirelength": 120.0, "n_placed": 8,
+        "converged_at": 1300},
+    2: {"final_cost": 5082.0, "wirelength": 122.0, "n_placed": 8,
+        "converged_at": 2400},
 }
 
 
@@ -86,6 +100,25 @@ class TestGAGoldens:
         assert res.final_cost == g["final_cost"]
         assert res.wirelength == g["wirelength"]
         assert res.n_placed == g["n_placed"]
+        assert res.iterations == 3000
+
+
+@pytest.mark.parametrize("seed", sorted(_PT_GOLDEN))
+@pytest.mark.parametrize("kernel", ["fast", "reference"])
+class TestPTGoldens:
+    def test_pt_matches_golden(self, z020, seed, kernel):
+        d, fps = _mixed_design(12)
+        res = temper(
+            d, fps, z020,
+            PTParams(max_iters=3000, n_chains=4, steps_per_round=100,
+                     seed=seed),
+            kernel=kernel,
+        )
+        g = _PT_GOLDEN[seed]
+        assert res.final_cost == g["final_cost"]
+        assert res.wirelength == g["wirelength"]
+        assert res.n_placed == g["n_placed"]
+        assert res.converged_at == g["converged_at"]
         assert res.iterations == 3000
 
 

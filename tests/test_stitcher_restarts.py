@@ -121,3 +121,96 @@ class TestFlowIntegration:
         )
         assert res.stitch.n_unplaced == 0
         assert res.stitch.stats.seed in (0, 1)
+
+
+class TestParetoWinner:
+    """Regression: the restart winner used to be crowned by ``final_cost``
+    alone, so a cheaper seed that left a block unplaced could beat a
+    fully-placed seed.  Winner selection must use the shared pareto key
+    ``(n_unplaced, final_cost)``."""
+
+    @staticmethod
+    def _fake_result(seed: int, n_unplaced: int, cost: float):
+        from repro.flow.stitcher import StitchResult, StitchStats
+
+        stats = StitchStats(
+            kernel="fast", seed=seed, setup_s=0.0, initial_s=0.0,
+            anneal_s=0.0, fill_s=0.0, move_attempts=0, place_attempts=0,
+            swap_attempts=0, move_accepts=0, place_accepts=0,
+            swap_accepts=0, illegal_moves=0,
+        )
+        return StitchResult(
+            placements={}, n_placed=10 - n_unplaced, n_unplaced=n_unplaced,
+            wirelength=cost, final_cost=cost, iterations=100,
+            converged_at=0, illegal_moves=0, stats=stats,
+        )
+
+    def test_fully_placed_beats_cheaper_unplaced(self, chain, z020, monkeypatch):
+        """A lower-cost seed that leaves a block on the floor must lose
+        to a fully-placed seed (this failed before the fix)."""
+        results = {
+            0: self._fake_result(0, n_unplaced=1, cost=50.0),
+            1: self._fake_result(1, n_unplaced=0, cost=100.0),
+        }
+
+        def fake_stitch(design, footprints, grid, params, *, kernel="fast",
+                        tracer=None):
+            return results[params.seed]
+
+        monkeypatch.setattr("repro.flow.restarts.stitch", fake_stitch)
+        d, fps = chain
+        best = stitch_best(d, fps, z020, SAParams(seed=0), seeds=[0, 1],
+                           n_workers=None)
+        assert best.n_unplaced == 0
+        assert best.final_cost == 100.0
+        assert best.stats.seed == 1
+
+    def test_cost_breaks_ties_among_fully_placed(self, chain, z020,
+                                                 monkeypatch):
+        results = {
+            0: self._fake_result(0, n_unplaced=0, cost=80.0),
+            1: self._fake_result(1, n_unplaced=0, cost=60.0),
+            2: self._fake_result(2, n_unplaced=0, cost=70.0),
+        }
+
+        def fake_stitch(design, footprints, grid, params, *, kernel="fast",
+                        tracer=None):
+            return results[params.seed]
+
+        monkeypatch.setattr("repro.flow.restarts.stitch", fake_stitch)
+        d, fps = chain
+        best = stitch_best(d, fps, z020, SAParams(seed=0), seeds=[0, 1, 2],
+                           n_workers=None)
+        assert best.stats.seed == 1
+
+    def test_exact_tie_goes_to_earliest_seed(self, chain, z020, monkeypatch):
+        results = {
+            3: self._fake_result(3, n_unplaced=0, cost=75.0),
+            4: self._fake_result(4, n_unplaced=0, cost=75.0),
+        }
+
+        def fake_stitch(design, footprints, grid, params, *, kernel="fast",
+                        tracer=None):
+            return results[params.seed]
+
+        monkeypatch.setattr("repro.flow.restarts.stitch", fake_stitch)
+        d, fps = chain
+        best = stitch_best(d, fps, z020, SAParams(seed=3), seeds=[3, 4],
+                           n_workers=None)
+        assert best.stats.seed == 3
+
+    def test_best_result_unit(self):
+        from repro.flow.fanout import best_result
+
+        cheap_broken = self._fake_result(0, n_unplaced=2, cost=10.0)
+        placed = self._fake_result(1, n_unplaced=0, cost=99.0)
+        assert best_result([cheap_broken, placed]) is placed
+        assert best_result([placed, cheap_broken]) is placed
+
+    def test_best_result_empty_rejected(self):
+        import pytest as _pytest
+
+        from repro.flow.fanout import best_result
+
+        with _pytest.raises(ValueError, match="results"):
+            best_result([])
