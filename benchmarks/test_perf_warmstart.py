@@ -1,0 +1,97 @@
+"""Perf-smoke gate: analytic warm start vs cold annealing.
+
+The analytic global placer's claim is that a *free* gradient-descent
+warm start (uncharged against the kernel-op budget) lets the anneal
+reach an equal-or-better placement while spending only *half* the
+moves.  This gate pins that claim on the cnvW1A1 stitch: the cold side
+runs ``stitch`` at the full budget from the greedy packing, the warm
+side runs ``global_place`` followed by ``stitch`` at ``budget // 2``
+seeded with the gp placements, and the warm ``(unplaced, cost)``
+outcome must not be worse.
+
+Set ``REPRO_WS_STATS`` to a path to write the comparison as a JSON
+artifact (CI uploads it as ``warmstart_vs_cold.json``) and
+``REPRO_BENCH_WS_BUDGET`` to change the cold-side budget.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.device.parts import xc7z020
+from repro.flow.global_place import GPParams, global_place
+from repro.flow.policy import FixedCF
+from repro.flow.preimpl import implement_design
+from repro.flow.stitcher import SAParams, stitch
+from repro.place_kernel.result import pareto_key
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return xc7z020()
+
+
+def test_perf_warmstart_beats_cold_at_half_budget(grid):
+    """gp+sa at budget//2 kernel moves must match or beat cold stitch."""
+    from repro.cnv import cnv_design
+
+    design = cnv_design()
+    pre = implement_design(design, grid, FixedCF(1.3))
+    footprints = {
+        name: impl.outcome.result.footprint
+        for name, impl in pre.items()
+        if impl.outcome.result.footprint is not None
+    }
+    if any(i.module not in footprints for i in design.instances):
+        design = design.subset(set(footprints))
+
+    budget = int(os.environ.get("REPRO_BENCH_WS_BUDGET", "4000"))
+    t0 = time.perf_counter()
+    cold = stitch(design, footprints, grid, SAParams(max_iters=budget, seed=0))
+    t_cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    gp = global_place(design, footprints, grid, GPParams(seed=0))
+    polish = stitch(
+        design, footprints, grid,
+        SAParams(max_iters=budget // 2, seed=0),
+        initial_placements=gp.placements,
+    )
+    warm = min(gp, polish, key=pareto_key)
+    t_warm = time.perf_counter() - t0
+
+    stats = {
+        "budget": budget,
+        "warm_budget": budget // 2,
+        "n_instances": len(design.instances),
+        "cold": {
+            "final_cost": cold.final_cost, "n_placed": cold.n_placed,
+            "n_unplaced": cold.n_unplaced, "iterations": cold.iterations,
+            "wall_s": round(t_cold, 4),
+        },
+        "gp": {
+            "final_cost": gp.final_cost, "n_placed": gp.n_placed,
+            "n_unplaced": gp.n_unplaced, "iterations": gp.iterations,
+        },
+        "warm": {
+            "final_cost": warm.final_cost, "n_placed": warm.n_placed,
+            "n_unplaced": warm.n_unplaced, "iterations": polish.iterations,
+            "wall_s": round(t_warm, 4),
+        },
+    }
+    out = os.environ.get("REPRO_WS_STATS")
+    if out:
+        with open(out, "w") as fh:
+            json.dump(stats, fh, indent=2, sort_keys=True)
+    print(json.dumps(stats, indent=2, sort_keys=True))
+
+    # The gp stage is uncharged; only the polish anneal's moves count.
+    assert gp.iterations == 0
+    assert polish.iterations <= budget // 2
+    assert pareto_key(warm) <= pareto_key(cold), (
+        f"warm start (unplaced={warm.n_unplaced}, cost={warm.final_cost}) "
+        f"worse than cold stitch (unplaced={cold.n_unplaced}, "
+        f"cost={cold.final_cost}) at half of budget {budget}"
+    )

@@ -12,6 +12,7 @@ Usage::
     python -m repro stitch design.json --profile --trace-out trace.json
     python -m repro evolve design.json --budget 20000 --restarts 4  # GA placer
     python -m repro temper design.json --budget 20000 --chains 4  # parallel tempering
+    python -m repro gplace design.json --polish-iters 20000  # analytic warm start + SA
     python -m repro trace summarize trace.json  # render a saved trace
     python -m repro lint src benchmarks --format github  # static analysis
     python -m repro report [-n 2000] [-o EXPERIMENTS.md]  # all experiments
@@ -210,6 +211,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_pt.add_argument("--render", action="store_true",
                       help="print the ASCII occupancy map")
     _add_trace_args(p_pt)
+
+    p_gp = sub.add_parser(
+        "gplace",
+        help="pre-implement and place a saved block design with the "
+        "analytic global placer (optionally polished by SA)",
+    )
+    p_gp.add_argument("design", help="design JSON (see export-design)")
+    p_gp.add_argument("--part", default="xc7z020")
+    gp_cf_group = p_gp.add_mutually_exclusive_group()
+    gp_cf_group.add_argument("--cf", type=float, default=1.5,
+                             help="constant correction factor")
+    gp_cf_group.add_argument("--minimal", action="store_true",
+                             help="use the ground-truth minimal CF per module")
+    p_gp.add_argument("--kernel", choices=list(_SA_KERNELS), default="fast")
+    p_gp.add_argument("--iters", type=int, default=100,
+                      help="gradient-descent iterations (uncharged)")
+    p_gp.add_argument("--polish-iters", type=int, default=0, metavar="N",
+                      help="polish with SA at N//2 kernel moves "
+                      "(the gp+sa half-budget pipeline; 0 = gp only)")
+    p_gp.add_argument("--restarts", type=int, default=1,
+                      help="independent polish-SA seeds; the best run wins "
+                      "(the gp stage is deterministic)")
+    p_gp.add_argument("--workers", type=int, default=0,
+                      help="worker processes for the restarts (0 = serial)")
+    p_gp.add_argument("--seed", type=int, default=0)
+    p_gp.add_argument("--render", action="store_true",
+                      help="print the ASCII occupancy map")
+    _add_trace_args(p_gp)
 
     p_lint = sub.add_parser(
         "lint",
@@ -574,6 +603,51 @@ def _cmd_temper(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gplace(args: argparse.Namespace) -> int:
+    from repro.device import make_part
+    from repro.flow.design_io import load_design
+    from repro.flow.global_place import GPParams
+    from repro.flow.policy import FixedCF, MinimalCFPolicy
+    from repro.flow.rwflow import run_rw_flow
+    from repro.flow.stitcher import SAParams
+
+    design = load_design(args.design)
+    grid = make_part(args.part)
+    policy = MinimalCFPolicy() if args.minimal else FixedCF(args.cf)
+    tracer = _make_tracer(args)
+    res = run_rw_flow(
+        design,
+        grid,
+        policy,
+        placer="gp+sa" if args.polish_iters else "gp",
+        gp_params=GPParams(n_iters=args.iters, seed=args.seed),
+        sa_params=SAParams(max_iters=args.polish_iters or 1, seed=args.seed),
+        kernel=args.kernel,
+        n_seeds=args.restarts,
+        n_workers=args.workers or None,
+        tracer=tracer,
+    )
+    s = res.stitch
+    _emit_trace(tracer, args)
+    print(
+        f"{design.name} on {grid.name}: {s.n_placed} placed, "
+        f"{s.n_unplaced} unplaced, wirelength {s.wirelength:.1f}, "
+        f"cost {s.final_cost:.1f}"
+    )
+    mode = f"gp+sa ({s.iterations} kernel moves)" if args.polish_iters \
+        else "gp (0 kernel moves)"
+    print(
+        f"  {mode}, {s.illegal_moves} illegal moves, "
+        f"{res.total_tool_runs} tool runs"
+    )
+    if args.render:
+        print(s.render())
+    if not res.ok:
+        print(res.infeasible.describe())
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import lint_paths, render, render_rule_table, render_statistics
     from repro.lint.report import statistics_json
@@ -630,6 +704,7 @@ _COMMANDS = {
     "stitch": _cmd_stitch,
     "evolve": _cmd_evolve,
     "temper": _cmd_temper,
+    "gplace": _cmd_gplace,
     "lint": _cmd_lint,
     "trace": _cmd_trace,
     "report": _cmd_report,

@@ -15,9 +15,12 @@
   the same move kernel and objective as the stitcher;
 * :mod:`repro.flow.tempering` — cooperative parallel tempering (replica
   exchange across a ladder of SA chains over the same kernel);
+* :mod:`repro.flow.global_place` — the analytic global placer (smooth
+  HPWL gradient descent + column-aware legalization) feeding the SA
+  stitcher a near-legal warm start at zero kernel-op spend;
 * :mod:`repro.flow.placers` — the optimizer portfolio (SA, GA,
-  warm-started SA, parallel tempering) behind the
-  :class:`~repro.place_kernel.protocol.Placer` protocol;
+  warm-started SA, parallel tempering, analytic-warm-started SA) behind
+  the :class:`~repro.place_kernel.protocol.Placer` protocol;
 * :mod:`repro.flow.fanout` — the shared order-preserving process
   fan-out and pareto winner selection;
 * :mod:`repro.flow.restarts` — multi-seed placement restarts
@@ -48,8 +51,10 @@ from repro.flow.cache import (
 )
 from repro.flow.design_io import load_design, save_design
 from repro.flow.evolve import GAParams, evolve
+from repro.flow.global_place import GPParams, global_place
 from repro.flow.monolithic import MonolithicResult, monolithic_flow
 from repro.flow.placers import (
+    AnalyticPlacer,
     GAPlacer,
     SAPlacer,
     TemperedSAPlacer,
@@ -94,6 +99,7 @@ from repro.flow.stitcher import (
 from repro.flow.tempering import PTParams, temper
 
 __all__ = [
+    "AnalyticPlacer",
     "Bitstream",
     "BlockDesign",
     "CacheStats",
@@ -108,6 +114,7 @@ __all__ = [
     "FlowStats",
     "GAParams",
     "GAPlacer",
+    "GPParams",
     "ImplementedModule",
     "Instance",
     "KERNELS",
@@ -136,6 +143,7 @@ __all__ = [
     "evolve",
     "evolve_best",
     "generate_bitstream",
+    "global_place",
     "grid_fingerprint",
     "implement_design",
     "implement_module",

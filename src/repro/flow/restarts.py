@@ -26,7 +26,7 @@ regardless of ``n_workers`` (enforced by
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.device.grid import DeviceGrid
 from repro.flow.blockdesign import BlockDesign
@@ -42,7 +42,8 @@ __all__ = ["evolve_best", "stitch_best", "temper_best"]
 
 def _run_one(
     args: tuple[
-        BlockDesign, dict[str, Footprint], DeviceGrid, SAParams, str, bool
+        BlockDesign, dict[str, Footprint], DeviceGrid, SAParams, str,
+        Mapping[str, tuple[int, int] | None] | None, bool
     ],
 ) -> tuple[StitchResult, dict | None]:
     """Worker entry point (module-level so it pickles).
@@ -52,9 +53,10 @@ def _run_one(
     result, so the parent can graft every restart's phase breakdown into
     its own trace exactly once regardless of worker count.
     """
-    design, footprints, grid, params, kernel, want_trace = args
+    design, footprints, grid, params, kernel, initial, want_trace = args
     tr = Tracer() if want_trace else None
-    result = stitch(design, footprints, grid, params, kernel=kernel, tracer=tr)
+    result = stitch(design, footprints, grid, params, kernel=kernel,
+                    initial_placements=initial, tracer=tr)
     trace = tr.roots[0].to_json_dict() if tr else None
     return result, trace
 
@@ -74,7 +76,8 @@ def _run_one_evolve(
 
 def _run_one_temper(
     args: tuple[
-        BlockDesign, dict[str, Footprint], DeviceGrid, PTParams, str, bool
+        BlockDesign, dict[str, Footprint], DeviceGrid, PTParams, str,
+        Mapping[str, tuple[int, int] | None] | None, bool
     ],
 ) -> tuple[StitchResult, dict | None]:
     """Tempering worker entry point (module-level so it pickles).
@@ -82,9 +85,10 @@ def _run_one_temper(
     Each restart runs its chains serially inside the worker — the
     restart family is already the process-level fan-out.
     """
-    design, footprints, grid, params, kernel, want_trace = args
+    design, footprints, grid, params, kernel, initial, want_trace = args
     tr = Tracer() if want_trace else None
-    result = temper(design, footprints, grid, params, kernel=kernel, tracer=tr)
+    result = temper(design, footprints, grid, params, kernel=kernel,
+                    initial_placements=initial, tracer=tr)
     trace = tr.roots[0].to_json_dict() if tr else None
     return result, trace
 
@@ -113,6 +117,7 @@ def stitch_best(
     n_workers: int | None = None,
     seeds: Sequence[int] | None = None,
     kernel: str = "fast",
+    initial_placements: Mapping[str, tuple[int, int] | None] | None = None,
     tracer: Tracer | NullTracer | None = None,
 ) -> StitchResult:
     """Anneal several independent seeds and return the best run.
@@ -132,6 +137,10 @@ def stitch_best(
         Explicit seed list, overriding ``n_seeds``.
     kernel:
         Move-kernel choice, forwarded to :func:`stitch`.
+    initial_placements:
+        Optional warm start every seed anneals from (the analytic
+        placer's legalized output in the ``gp+sa`` pipeline); forwarded
+        verbatim to each seed's :func:`stitch`.
     tracer:
         Where the ``stitch.restarts`` span is recorded, with one child
         ``stitch`` span per seed (merged back from the workers when the
@@ -152,7 +161,7 @@ def stitch_best(
     ambient = tracer if tracer is not None else current_tracer()
     jobs = [
         (design, footprints, grid, replace(params, seed=s), kernel,
-         ambient.enabled)
+         initial_placements, ambient.enabled)
         for s in seeds
     ]
     return _best_of(jobs, _run_one, "stitch.restarts", ambient, n_workers)
@@ -199,14 +208,16 @@ def temper_best(
     n_workers: int | None = None,
     seeds: Sequence[int] | None = None,
     kernel: str = "fast",
+    initial_placements: Mapping[str, tuple[int, int] | None] | None = None,
     tracer: Tracer | NullTracer | None = None,
 ) -> StitchResult:
     """Run several independent tempering seeds and return the best run.
 
     The parallel-tempering peer of :func:`stitch_best`: same seed-family
     expansion, same process fan-out, same worker-count-independent
-    pareto winner.  Each seed's chains run serially inside its worker
-    (the family is already the process-level fan-out); the
+    pareto winner (``initial_placements``, when given, warm starts every
+    seed's chains the same way).  Each seed's chains run serially inside
+    its worker (the family is already the process-level fan-out); the
     ``tempering.restarts`` span records one child ``tempering`` span per
     seed.
     """
@@ -215,7 +226,7 @@ def temper_best(
     ambient = tracer if tracer is not None else current_tracer()
     jobs = [
         (design, footprints, grid, replace(params, seed=s), kernel,
-         ambient.enabled)
+         initial_placements, ambient.enabled)
         for s in seeds
     ]
     return _best_of(

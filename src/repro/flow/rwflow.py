@@ -27,9 +27,11 @@ from repro.flow.preimpl import (
     implement_design,
 )
 from repro.flow.evolve import GAParams, evolve
+from repro.flow.global_place import GPParams, global_place
 from repro.flow.restarts import evolve_best, stitch_best, temper_best
 from repro.flow.stitcher import SAParams, StitchResult, stitch
 from repro.flow.tempering import PTParams, temper
+from repro.place_kernel.result import pareto_key
 from repro.obs.tracer import NullTracer, Tracer, current_tracer
 
 __all__ = ["RWFlowResult", "run_rw_flow"]
@@ -92,6 +94,7 @@ def run_rw_flow(
     placer: str = "sa",
     ga_params: GAParams | None = None,
     pt_params: PTParams | None = None,
+    gp_params: GPParams | None = None,
     kernel: str = "fast",
     n_seeds: int = 1,
     n_workers: int | None = None,
@@ -119,12 +122,19 @@ def run_rw_flow(
     placer:
         Which portfolio optimizer places the design: ``"sa"`` (the
         annealing stitcher, the default), ``"ga"`` (the evolutionary
-        placer of :mod:`repro.flow.evolve`) or ``"pt"`` (cooperative
-        parallel tempering, :mod:`repro.flow.tempering`).
+        placer of :mod:`repro.flow.evolve`), ``"pt"`` (cooperative
+        parallel tempering, :mod:`repro.flow.tempering`), ``"gp"`` (the
+        analytic global placer of :mod:`repro.flow.global_place` alone)
+        or ``"gp+sa"`` (analytic warm start, then an anneal at *half*
+        the SA move budget — the warm-start pipeline's budget contract).
     ga_params:
         GA parameters when ``placer="ga"`` (``None`` = defaults).
     pt_params:
         Tempering parameters when ``placer="pt"`` (``None`` = defaults).
+    gp_params:
+        Analytic-placer parameters when ``placer`` is ``"gp"`` or
+        ``"gp+sa"`` (``None`` derives them from ``sa_params`` so the
+        costs stay comparable).
     kernel:
         Stitcher move-kernel (``"fast"`` or ``"reference"``).
     n_seeds:
@@ -168,9 +178,10 @@ def run_rw_flow(
 
         missing = [i for i in design.instances if i.module not in footprints]
         stitchable = design if not missing else design.subset(set(footprints))
-        if placer not in ("sa", "ga", "pt"):
+        if placer not in ("sa", "ga", "pt", "gp", "gp+sa"):
             raise ValueError(
-                f"unknown placer {placer!r}; choose from ('sa', 'ga', 'pt')"
+                f"unknown placer {placer!r}; "
+                "choose from ('sa', 'ga', 'pt', 'gp', 'gp+sa')"
             )
         if stitchable.instances:
             if placer == "ga":
@@ -197,6 +208,42 @@ def run_rw_flow(
                         stitchable, footprints, target, pt_params,
                         kernel=kernel, n_workers=n_workers, tracer=ambient,
                     )
+            elif placer in ("gp", "gp+sa"):
+                # The analytic placer is deterministic in its seed, so
+                # the restart family is meaningless for the gp stage;
+                # gp+sa fans the *polish* anneal out instead.
+                sa = sa_params or SAParams()
+                gp = gp_params or GPParams(
+                    unplaced_weight=sa.unplaced_weight, seed=sa.seed,
+                )
+                warm = global_place(
+                    stitchable, footprints, target, gp,
+                    kernel=kernel, tracer=ambient,
+                )
+                if placer == "gp":
+                    result = warm
+                else:
+                    # Budget contract: the warm start is uncharged and
+                    # the polish anneal runs at half the SA budget, so
+                    # gp+sa spends <= 50% of the cold stitcher's kernel
+                    # ops (benchmarks/test_perf_warmstart.py).
+                    anneal = replace(sa, max_iters=max(1, sa.max_iters // 2))
+                    if n_seeds > 1:
+                        result = stitch_best(
+                            stitchable, footprints, target, anneal,
+                            n_seeds=n_seeds, n_workers=n_workers,
+                            kernel=kernel,
+                            initial_placements=warm.placements,
+                            tracer=ambient,
+                        )
+                    else:
+                        result = stitch(
+                            stitchable, footprints, target, anneal,
+                            kernel=kernel,
+                            initial_placements=warm.placements,
+                            tracer=ambient,
+                        )
+                    result = min(warm, result, key=pareto_key)
             elif n_seeds > 1:
                 result = stitch_best(
                     stitchable, footprints, target, sa_params,

@@ -126,14 +126,7 @@ def stitch(
             if initial_placements is None:
                 st.greedy_initial()
             else:
-                for i, name in enumerate(names):
-                    p = initial_placements.get(name)
-                    if p is None:
-                        continue
-                    x, y = p
-                    if st.fits(i, x, y):
-                        st.set_pos(i, (x, y))
-                        st.paint(i, x, y, +1)
+                st.load_placements(names, initial_placements)
             cost = st.total_cost()
             best = cost
             improvements: list[tuple[int, float]] = [(0, best)]

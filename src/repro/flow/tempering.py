@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro.device.grid import DeviceGrid
 from repro.flow.blockdesign import BlockDesign
@@ -247,6 +248,7 @@ def temper(
     *,
     kernel: str = "fast",
     n_workers: int | None = None,
+    initial_placements: Mapping[str, tuple[int, int] | None] | None = None,
     tracer: Tracer | NullTracer | None = None,
 ) -> StitchResult:
     """Place all instances of ``design`` with cooperative replica exchange.
@@ -262,6 +264,11 @@ def temper(
     kernel:
         Move-kernel choice (``"fast"`` or ``"reference"``); identical
         results on either for a fixed seed.
+    initial_placements:
+        Optional warm start every chain begins from (same contract as
+        :func:`~repro.flow.stitcher.stitch`: anchors apply in instance
+        order, non-fitting anchors stay unplaced).  Without it the
+        ladder starts from the greedy tallest-first packing.
     n_workers:
         Worker processes to fan the chains over per exchange block.
         ``None``, 0 or 1 runs serially in-process; the result is
@@ -347,7 +354,10 @@ def temper(
                     fan.prepare()
                     st, swappable, n_edges = _WORKER["ctx"]  # type: ignore[misc]
                 names = st.names
-                st.greedy_initial()
+                if initial_placements is None:
+                    st.greedy_initial()
+                else:
+                    st.load_placements(names, initial_placements)
                 cost0 = st.total_cost()
                 g_best_cost = cost0
                 g_best_pos: list[tuple[int, int] | None] = list(st.pos)

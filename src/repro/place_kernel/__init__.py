@@ -33,7 +33,14 @@ from repro.place_kernel.kernel import (
 from repro.place_kernel.problem import PlacementProblem
 from repro.place_kernel.protocol import Placer
 from repro.place_kernel.result import StitchResult, StitchStats
-from repro.place_kernel.sites import HARD_KINDS, HARD_PITCH, SiteTable, dilate_down
+from repro.place_kernel.sites import (
+    HARD_KINDS,
+    HARD_PITCH,
+    SiteTable,
+    column_capacities,
+    dilate_down,
+    site_table,
+)
 from repro.place_kernel.uniform import UniformBuffer
 
 __all__ = [
@@ -49,6 +56,8 @@ __all__ = [
     "StitchResult",
     "StitchStats",
     "UniformBuffer",
+    "column_capacities",
     "dilate_down",
     "make_kernel",
+    "site_table",
 ]

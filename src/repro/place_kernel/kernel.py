@@ -32,12 +32,13 @@ guarantees shared (``tests/test_place_kernel.py``).
 from __future__ import annotations
 
 import math
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.device.grid import DeviceGrid
 from repro.place.shapes import Footprint
-from repro.place_kernel.sites import SiteTable, dilate_down
+from repro.place_kernel.sites import SiteTable, dilate_down, site_table
 from repro.place_kernel.uniform import UniformBuffer
 
 __all__ = [
@@ -79,7 +80,11 @@ class PlacementKernel:
         self.edges = edges
         self.unplaced_weight = unplaced_weight
         self.n = len(names)
-        # Per-footprint site tables, shared across same-module instances.
+        # Per-footprint site tables, shared across same-module instances
+        # *and* across kernel instances on the same grid (the process
+        # cache in :func:`repro.place_kernel.sites.site_table`), so
+        # restart fan-outs and ``clear()``/``restore()`` round-trips
+        # never re-derive a compatible-site table.
         table_index: dict[Footprint, int] = {}
         self.tables: list[SiteTable] = []
         self.table_of: list[int] = []
@@ -88,7 +93,7 @@ class PlacementKernel:
             if idx is None:
                 idx = len(self.tables)
                 table_index[fp] = idx
-                self.tables.append(SiteTable(grid, fp))
+                self.tables.append(site_table(grid, fp))
             self.table_of.append(idx)
         self.anchors_x = [self.tables[t].anchors_x for t in self.table_of]
         self.y_step = [self.tables[t].y_step for t in self.table_of]
@@ -134,6 +139,34 @@ class PlacementKernel:
         """
         raise NotImplementedError
 
+    def nearest_fit_y(self, i: int, x: int, y_target: int) -> int | None:
+        """Legal anchor row for ``i`` in column ``x`` nearest ``y_target``.
+
+        Candidate rows walk outward from the snapped target on the
+        footprint's anchor-row grid; distance ties break toward the
+        lower row.  The analytic placer's legalization snap uses this to
+        keep the gradient solution's vertical position as closely as the
+        occupancy allows.  :class:`FastKernel` overrides this with a
+        free-mask bit scan producing the identical row.
+        """
+        y_max = self.y_max[i]
+        if y_max < 0:
+            return None
+        step = self.y_step[i]
+        t = min(max(y_target, 0), y_max)
+        t -= t % step
+        below, above = t, t + step
+        while below >= 0 or above <= y_max:
+            if below >= 0 and (above > y_max or t - below <= above - t):
+                if self.fits(i, x, below):
+                    return below
+                below -= step
+            else:
+                if self.fits(i, x, above):
+                    return above
+                above += step
+        return None
+
     def occupancy_array(self) -> np.ndarray:
         raise NotImplementedError
 
@@ -162,6 +195,27 @@ class PlacementKernel:
             if p is not None:
                 self.set_pos(i, p)
                 self.paint(i, p[0], p[1], +1)
+
+    def load_placements(
+        self,
+        names: Sequence[str],
+        placements: Mapping[str, tuple[int, int] | None],
+    ) -> None:
+        """Apply a warm-start anchor mapping in instance order.
+
+        ``None`` entries and missing names stay unplaced; an anchor
+        that no longer fits (or overlaps an earlier one) leaves that
+        instance unplaced rather than failing — the contract every
+        warm-started optimizer (stitch, temper) shares.
+        """
+        for i, name in enumerate(names):
+            p = placements.get(name)
+            if p is None:
+                continue
+            x, y = p
+            if self.fits(i, x, y):
+                self.set_pos(i, (x, y))
+                self.paint(i, x, y, +1)
 
     # ------------------------------------------------------------ cost
 
@@ -443,6 +497,37 @@ class FastKernel(PlacementKernel):
         if bound is not None and y >= bound:
             return None
         return y
+
+    def nearest_fit_y(self, i: int, x: int, y_target: int) -> int | None:
+        # Same free-mask as lowest_fit_y, then one bit scan each way from
+        # the snapped target: highest set bit at-or-below vs lowest set
+        # bit above, ties toward the lower row — identical to the base
+        # class's outward probe walk.
+        t_tab = self.tables[self.table_of[i]]
+        allowed = t_tab.allowed_mask
+        if not allowed:
+            return None
+        bad = 0
+        cm = self.colmask
+        for c, _m, h in self.masks[i]:
+            col = cm[x + c]
+            if col:
+                bad |= dilate_down(col, h)
+        free = allowed & ~bad
+        if not free:
+            return None
+        step = self.y_step[i]
+        t = min(max(y_target, 0), self.y_max[i])
+        t -= t % step
+        below_mask = free & ((1 << (t + 1)) - 1)
+        above_mask = free >> (t + 1)
+        if not above_mask:
+            return below_mask.bit_length() - 1
+        above = (above_mask & -above_mask).bit_length() + t
+        if not below_mask:
+            return above
+        below = below_mask.bit_length() - 1
+        return below if t - below <= above - t else above
 
     def occupancy_array(self) -> np.ndarray:
         occ = np.zeros((self.grid.n_cols, self.grid.height_clbs), dtype=np.int16)

@@ -10,11 +10,22 @@ modules) builds each table once.
 
 from __future__ import annotations
 
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
 from repro.device.column import ColumnKind
 from repro.device.grid import DeviceGrid
 from repro.place.shapes import Footprint
 
-__all__ = ["HARD_KINDS", "HARD_PITCH", "SiteTable", "dilate_down"]
+__all__ = [
+    "HARD_KINDS",
+    "HARD_PITCH",
+    "SiteTable",
+    "column_capacities",
+    "dilate_down",
+    "site_table",
+]
 
 #: Column kinds whose sites span several CLB rows.
 HARD_KINDS = (ColumnKind.BRAM, ColumnKind.DSP)
@@ -86,3 +97,52 @@ class SiteTable:
                 for y in range(0, self.y_max + 1, self.y_step):
                     allowed |= 1 << y
         self.allowed_mask = allowed
+
+
+def column_capacities(grid: DeviceGrid) -> np.ndarray:
+    """Per-column placeable CLB-row capacity of ``grid`` (float64 array).
+
+    Every footprint column occupies ``height`` CLB rows regardless of
+    kind (hard-block columns are painted at CLB-row granularity too), so
+    each placeable column contributes ``grid.height_clbs`` rows of
+    capacity.  Clock-spine columns can never appear in a footprint
+    pattern (:meth:`DeviceGrid.find_window` refuses to cross them), so
+    their capacity is zero — the analytic placer's density penalty uses
+    this to steer demand away from the spine, and the ``gplace`` device
+    utilization report sums it.
+    """
+    caps = np.full(grid.n_cols, float(grid.height_clbs), dtype=np.float64)
+    for col in grid.columns:
+        if col.kind is ColumnKind.CLOCK:
+            caps[col.x] = 0.0
+    return caps
+
+
+#: Process-local compatible-site tables keyed by (grid, footprint).
+#: A table is a pure, immutable function of its key, so sharing one
+#: object across kernels (and across ``clear()``/``restore()`` cycles)
+#: is bitwise-neutral; the weak key lets throwaway test grids be
+#: collected.  Restart fan-outs build one kernel per seed over the same
+#: problem — without the cache every seed re-derived every table.
+_TABLE_CACHE: "WeakKeyDictionary[DeviceGrid, dict[Footprint, SiteTable]]" = (
+    WeakKeyDictionary()
+)
+
+
+def site_table(grid: DeviceGrid, fp: Footprint) -> SiteTable:
+    """The shared :class:`SiteTable` for ``fp`` on ``grid`` (cached).
+
+    Every kernel construction routes through here, so serial restart
+    families and the GA/tempering ``restore()`` round-trips pay the
+    table derivation once per unique (grid, footprint) pair per process
+    instead of once per seed.
+    """
+    per_grid = _TABLE_CACHE.get(grid)
+    if per_grid is None:
+        per_grid = {}
+        _TABLE_CACHE[grid] = per_grid
+    table = per_grid.get(fp)
+    if table is None:
+        table = SiteTable(grid, fp)
+        per_grid[fp] = table
+    return table

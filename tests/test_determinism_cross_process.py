@@ -135,6 +135,44 @@ print(hashlib.sha256(payload.encode()).hexdigest())
 """
 
 
+# The gp+sa pipeline must be bitwise identical in any interpreter and
+# with any restart worker count: the analytic stage is pure seeded
+# numpy (one jitter draw, fixed iteration counts) and the polish
+# restarts fan its placements out verbatim; __N_WORKERS__ is
+# substituted before running.
+_GPLACE_SNIPPET = """
+import hashlib, json
+from repro.device import xc7z020
+from repro.device.column import ColumnKind
+from repro.flow.blockdesign import BlockDesign
+from repro.flow.global_place import GPParams, global_place
+from repro.flow.restarts import stitch_best
+from repro.flow.stitcher import SAParams
+from repro.place.shapes import Footprint
+from repro.rtlgen.base import RTLModule
+from repro.rtlgen.constructs import RandomLogicCloud
+
+d = BlockDesign(name="det-gplace")
+d.add_module(RTLModule.make("m", [RandomLogicCloud(n_luts=4)]))
+fp = Footprint((ColumnKind.CLBLL, ColumnKind.CLBLM), (10, 10))
+for i in range(8):
+    d.add_instance(f"i{i}", "m")
+for i in range(7):
+    d.connect(f"i{i}", f"i{i+1}", width=4)
+warm = global_place(d, {"m": fp}, xc7z020(), GPParams(seed=2))
+best = stitch_best(d, {"m": fp}, xc7z020(),
+                   SAParams(max_iters=750, seed=2),
+                   seeds=[2, 3, 4], n_workers=__N_WORKERS__,
+                   initial_placements=warm.placements)
+wp = sorted((k, v) for k, v in warm.placements.items())
+placement = sorted((k, v) for k, v in best.placements.items())
+payload = json.dumps([wp, warm.final_cost,
+                      list(warm.stats.temperature_trace),
+                      placement, best.final_cost, best.stats.seed])
+print(hashlib.sha256(payload.encode()).hexdigest())
+"""
+
+
 def _run(snippet: str = _SNIPPET) -> str:
     out = subprocess.run(
         [sys.executable, "-c", snippet],
@@ -170,6 +208,14 @@ class TestCrossProcessDeterminism:
         serial = _run(_TEMPER_SNIPPET.replace("__N_WORKERS__", "0"))
         serial_again = _run(_TEMPER_SNIPPET.replace("__N_WORKERS__", "0"))
         parallel = _run(_TEMPER_SNIPPET.replace("__N_WORKERS__", "4"))
+        assert serial == serial_again == parallel
+
+    def test_gplace_warm_start_worker_independent(self):
+        """The analytic warm start and its polish restarts are bitwise
+        identical across processes and restart worker counts."""
+        serial = _run(_GPLACE_SNIPPET.replace("__N_WORKERS__", "0"))
+        serial_again = _run(_GPLACE_SNIPPET.replace("__N_WORKERS__", "0"))
+        parallel = _run(_GPLACE_SNIPPET.replace("__N_WORKERS__", "2"))
         assert serial == serial_again == parallel
 
     def test_dataset_generation_worker_independent(self):

@@ -154,7 +154,7 @@ class TestPlacers:
         for placer in default_portfolio():
             assert isinstance(placer, Placer)
         assert {p.name for p in default_portfolio()} == {
-            "sa", "ga", "warm-sa", "pt"
+            "sa", "ga", "warm-sa", "pt", "gp+sa"
         }
 
     def test_sa_placer_equals_stitch(self, chain, z020):
@@ -183,12 +183,19 @@ class TestPlacers:
         assert a.occupancy.max(initial=0) <= 1
 
     def test_portfolio_equal_budget(self):
-        sa, ga, warm, pt = default_portfolio(SAParams(max_iters=4321, seed=9))
+        sa, ga, warm, pt, gpsa = default_portfolio(
+            SAParams(max_iters=4321, seed=9)
+        )
         assert ga.params.move_budget == 4321
         assert ga.params.seed == 9
         assert warm.params.max_iters == 4321
         assert pt.params.max_iters == 4321
         assert pt.params.seed == 9
+        # The gp+sa member polishes at half the cap (its warm start is
+        # uncharged), so it never exceeds the portfolio budget.
+        assert gpsa.warm == "gp"
+        assert gpsa.params.max_iters == 4321
+        assert gpsa.sa_frac == 0.5
 
 
 class TestStitchWarmStart:

@@ -154,7 +154,7 @@ class TestParetoWinner:
         }
 
         def fake_stitch(design, footprints, grid, params, *, kernel="fast",
-                        tracer=None):
+                        initial_placements=None, tracer=None):
             return results[params.seed]
 
         monkeypatch.setattr("repro.flow.restarts.stitch", fake_stitch)
@@ -174,7 +174,7 @@ class TestParetoWinner:
         }
 
         def fake_stitch(design, footprints, grid, params, *, kernel="fast",
-                        tracer=None):
+                        initial_placements=None, tracer=None):
             return results[params.seed]
 
         monkeypatch.setattr("repro.flow.restarts.stitch", fake_stitch)
@@ -190,7 +190,7 @@ class TestParetoWinner:
         }
 
         def fake_stitch(design, footprints, grid, params, *, kernel="fast",
-                        tracer=None):
+                        initial_placements=None, tracer=None):
             return results[params.seed]
 
         monkeypatch.setattr("repro.flow.restarts.stitch", fake_stitch)
