@@ -1,0 +1,142 @@
+"""Perf-smoke gate: congestion-aware SA vs congestion-blind SA.
+
+The routing-aware stitch objective's claim is that weighting channel
+overflow into the anneal reduces post-hoc congestion without giving up
+wirelength.  This gate pins that claim on the cnvW1A1 stitch at an
+*equal* move budget: for a small family of seeds, the aware side runs
+``stitch`` with ``congestion_weight > 0`` and the blind side runs the
+identical configuration with the term disabled; the aware mean total
+channel overflow (``CongestionMap.total_overflow``, the exact quantity
+the in-loop cost term weights) must come out lower while the mean HPWL
+stays within 5% of the blind side.
+
+Everything is seeded and wall-clock free, so the comparison is
+deterministic — the gate cannot flake, only genuinely regress.
+
+Set ``REPRO_ROUTE_STATS`` to a path to write the comparison as a JSON
+artifact (CI uploads it as ``route_aware_vs_blind.json``),
+``REPRO_BENCH_ROUTE_BUDGET`` to change the per-run move budget and
+``REPRO_BENCH_ROUTE_SEEDS`` to change the seed-family size.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.device.parts import xc7z020
+from repro.flow.policy import FixedCF
+from repro.flow.preimpl import implement_design
+from repro.flow.stitcher import SAParams, stitch
+from repro.route import congestion_map
+
+#: The congestion term's weight on the aware side.  Strong enough to
+#: steer the anneal on the heavily-overcommitted cnvW1A1 map, small
+#: enough that HPWL stays competitive.
+CONGESTION_WEIGHT = 2.0
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return xc7z020()
+
+
+def test_perf_route_aware_reduces_overflow(grid):
+    """Congestion-aware SA must lower mean overflow at equal budget."""
+    from repro.cnv import cnv_design
+
+    design = cnv_design()
+    pre = implement_design(design, grid, FixedCF(1.3))
+    footprints = {
+        name: impl.outcome.result.footprint
+        for name, impl in pre.items()
+        if impl.outcome.result.footprint is not None
+    }
+    if any(i.module not in footprints for i in design.instances):
+        design = design.subset(set(footprints))
+
+    budget = int(os.environ.get("REPRO_BENCH_ROUTE_BUDGET", "20000"))
+    n_seeds = int(os.environ.get("REPRO_BENCH_ROUTE_SEEDS", "5"))
+
+    runs = []
+    t0 = time.perf_counter()
+    for seed in range(n_seeds):
+        blind = stitch(
+            design, footprints, grid, SAParams(max_iters=budget, seed=seed)
+        )
+        aware = stitch(
+            design,
+            footprints,
+            grid,
+            SAParams(
+                max_iters=budget,
+                seed=seed,
+                congestion_weight=CONGESTION_WEIGHT,
+            ),
+        )
+        # Equal-budget contract: both sides get the same move cap (early
+        # convergence may spend less, never more).
+        assert blind.iterations <= budget and aware.iterations <= budget
+        cb = congestion_map(design, footprints, blind, grid)
+        ca = congestion_map(design, footprints, aware, grid)
+        runs.append(
+            {
+                "seed": seed,
+                "blind": {
+                    "total_overflow": cb.total_overflow,
+                    "overflowed_channels": cb.overflowed_channels,
+                    "peak_column_demand": cb.peak_column_demand,
+                    "wirelength": blind.wirelength,
+                    "n_unplaced": blind.n_unplaced,
+                },
+                "aware": {
+                    "total_overflow": ca.total_overflow,
+                    "overflowed_channels": ca.overflowed_channels,
+                    "peak_column_demand": ca.peak_column_demand,
+                    "wirelength": aware.wirelength,
+                    "n_unplaced": aware.n_unplaced,
+                    "congestion_cost": aware.congestion_cost,
+                },
+            }
+        )
+    wall_s = time.perf_counter() - t0
+
+    def mean(side, key):
+        return sum(r[side][key] for r in runs) / len(runs)
+
+    stats = {
+        "budget": budget,
+        "n_seeds": n_seeds,
+        "congestion_weight": CONGESTION_WEIGHT,
+        "n_instances": len(design.instances),
+        "wall_s": round(wall_s, 4),
+        "mean": {
+            "blind_total_overflow": mean("blind", "total_overflow"),
+            "aware_total_overflow": mean("aware", "total_overflow"),
+            "blind_peak_column_demand": mean("blind", "peak_column_demand"),
+            "aware_peak_column_demand": mean("aware", "peak_column_demand"),
+            "blind_wirelength": mean("blind", "wirelength"),
+            "aware_wirelength": mean("aware", "wirelength"),
+        },
+        "runs": runs,
+    }
+    out = os.environ.get("REPRO_ROUTE_STATS")
+    if out:
+        with open(out, "w") as fh:
+            json.dump(stats, fh, indent=2, sort_keys=True)
+    print(json.dumps(stats, indent=2, sort_keys=True))
+
+    m = stats["mean"]
+    assert m["aware_total_overflow"] < m["blind_total_overflow"], (
+        f"congestion-aware SA did not reduce mean channel overflow "
+        f"({m['aware_total_overflow']:.0f} vs {m['blind_total_overflow']:.0f}) "
+        f"at budget {budget} over {n_seeds} seeds"
+    )
+    assert m["aware_wirelength"] <= 1.05 * m["blind_wirelength"], (
+        f"congestion-aware SA regressed mean HPWL by more than 5% "
+        f"({m['aware_wirelength']:.0f} vs {m['blind_wirelength']:.0f})"
+    )
+    # Placement feasibility must not degrade either.
+    for r in runs:
+        assert r["aware"]["n_unplaced"] <= r["blind"]["n_unplaced"] + 1

@@ -13,6 +13,7 @@ Usage::
     python -m repro evolve design.json --budget 20000 --restarts 4  # GA placer
     python -m repro temper design.json --budget 20000 --chains 4  # parallel tempering
     python -m repro gplace design.json --polish-iters 20000  # analytic warm start + SA
+    python -m repro route design.json --congestion-weight 0.5  # congestion/timing report
     python -m repro trace summarize trace.json  # render a saved trace
     python -m repro lint src benchmarks --format github  # static analysis
     python -m repro report [-n 2000] [-o EXPERIMENTS.md]  # all experiments
@@ -38,6 +39,16 @@ def _add_trace_args(p: argparse.ArgumentParser) -> None:
                    help="write the span trace as JSON (or JSONL for *.jsonl)")
     p.add_argument("--profile", action="store_true",
                    help="print the per-stage trace breakdown after the run")
+
+
+def _add_route_args(p: argparse.ArgumentParser) -> None:
+    """Routing/timing-aware cost knobs shared by the placer commands."""
+    p.add_argument("--congestion-weight", type=float, default=0.0,
+                   help="weight of the channel-overflow congestion cost "
+                   "term (0 = pure HPWL, the default)")
+    p.add_argument("--timing-weight", type=float, default=0.0,
+                   help="weight of the block-level critical-path cost "
+                   "term (0 = off, the default)")
 
 
 def _make_tracer(args: argparse.Namespace):
@@ -152,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_st.add_argument("--seed", type=int, default=0)
     p_st.add_argument("--render", action="store_true",
                       help="print the ASCII occupancy map")
+    _add_route_args(p_st)
     _add_trace_args(p_st)
 
     p_ev = sub.add_parser(
@@ -178,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ev.add_argument("--seed", type=int, default=0)
     p_ev.add_argument("--render", action="store_true",
                       help="print the ASCII occupancy map")
+    _add_route_args(p_ev)
     _add_trace_args(p_ev)
 
     p_pt = sub.add_parser(
@@ -210,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_pt.add_argument("--seed", type=int, default=0)
     p_pt.add_argument("--render", action="store_true",
                       help="print the ASCII occupancy map")
+    _add_route_args(p_pt)
     _add_trace_args(p_pt)
 
     p_gp = sub.add_parser(
@@ -238,7 +252,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_gp.add_argument("--seed", type=int, default=0)
     p_gp.add_argument("--render", action="store_true",
                       help="print the ASCII occupancy map")
+    _add_route_args(p_gp)
     _add_trace_args(p_gp)
+
+    p_rt = sub.add_parser(
+        "route",
+        help="stitch a saved block design and report channel congestion "
+        "and the block-level critical path",
+    )
+    p_rt.add_argument("design", help="design JSON (see export-design)")
+    p_rt.add_argument("--part", default="xc7z020")
+    rt_cf_group = p_rt.add_mutually_exclusive_group()
+    rt_cf_group.add_argument("--cf", type=float, default=1.5,
+                             help="constant correction factor")
+    rt_cf_group.add_argument("--minimal", action="store_true",
+                             help="use the ground-truth minimal CF per module")
+    p_rt.add_argument("--kernel", choices=list(_SA_KERNELS), default="fast")
+    p_rt.add_argument("--restarts", type=int, default=1,
+                      help="independent SA seeds; the best run wins")
+    p_rt.add_argument("--workers", type=int, default=0,
+                      help="worker processes for the restarts (0 = serial)")
+    p_rt.add_argument("--sa-iters", type=int, default=20000)
+    p_rt.add_argument("--seed", type=int, default=0)
+    p_rt.add_argument("--render", action="store_true",
+                      help="print the ASCII congestion heat map")
+    _add_route_args(p_rt)
+    _add_trace_args(p_rt)
 
     p_lint = sub.add_parser(
         "lint",
@@ -458,7 +497,12 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
         design,
         grid,
         policy,
-        sa_params=SAParams(max_iters=args.sa_iters, seed=args.seed),
+        sa_params=SAParams(
+            max_iters=args.sa_iters,
+            seed=args.seed,
+            congestion_weight=args.congestion_weight,
+            timing_weight=args.timing_weight,
+        ),
         kernel=args.kernel,
         n_seeds=args.restarts,
         n_workers=args.workers or None,
@@ -471,6 +515,11 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
         f"{s.n_unplaced} unplaced, wirelength {s.wirelength:.1f}, "
         f"cost {s.final_cost:.1f}"
     )
+    if args.congestion_weight or args.timing_weight:
+        print(
+            f"  congestion cost {s.congestion_cost:.2f}, "
+            f"timing cost {s.timing_cost:.2f}"
+        )
     print(
         f"  converged at iter {s.converged_at}/{s.iterations}, "
         f"{s.illegal_moves} illegal moves, {res.total_tool_runs} tool runs"
@@ -513,6 +562,8 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
             population=args.population,
             polish_frac=args.polish_frac,
             seed=args.seed,
+            congestion_weight=args.congestion_weight,
+            timing_weight=args.timing_weight,
         ),
         kernel=args.kernel,
         n_seeds=args.restarts,
@@ -569,6 +620,8 @@ def _cmd_temper(args: argparse.Namespace) -> int:
             steps_per_round=args.steps_per_round,
             swap_period=args.swap_period,
             seed=args.seed,
+            congestion_weight=args.congestion_weight,
+            timing_weight=args.timing_weight,
         ),
         kernel=args.kernel,
         n_seeds=args.restarts,
@@ -620,8 +673,18 @@ def _cmd_gplace(args: argparse.Namespace) -> int:
         grid,
         policy,
         placer="gp+sa" if args.polish_iters else "gp",
-        gp_params=GPParams(n_iters=args.iters, seed=args.seed),
-        sa_params=SAParams(max_iters=args.polish_iters or 1, seed=args.seed),
+        gp_params=GPParams(
+            n_iters=args.iters,
+            seed=args.seed,
+            congestion_weight=args.congestion_weight,
+            timing_weight=args.timing_weight,
+        ),
+        sa_params=SAParams(
+            max_iters=args.polish_iters or 1,
+            seed=args.seed,
+            congestion_weight=args.congestion_weight,
+            timing_weight=args.timing_weight,
+        ),
         kernel=args.kernel,
         n_seeds=args.restarts,
         n_workers=args.workers or None,
@@ -642,6 +705,73 @@ def _cmd_gplace(args: argparse.Namespace) -> int:
     )
     if args.render:
         print(s.render())
+    if not res.ok:
+        print(res.infeasible.describe())
+        return 1
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.device import make_part
+    from repro.flow.design_io import load_design
+    from repro.flow.policy import FixedCF, MinimalCFPolicy
+    from repro.flow.rwflow import run_rw_flow
+    from repro.flow.stitcher import SAParams
+    from repro.route import block_critical_path, congestion_map
+
+    design = load_design(args.design)
+    grid = make_part(args.part)
+    policy = MinimalCFPolicy() if args.minimal else FixedCF(args.cf)
+    tracer = _make_tracer(args)
+    res = run_rw_flow(
+        design,
+        grid,
+        policy,
+        sa_params=SAParams(
+            max_iters=args.sa_iters,
+            seed=args.seed,
+            congestion_weight=args.congestion_weight,
+            timing_weight=args.timing_weight,
+        ),
+        kernel=args.kernel,
+        n_seeds=args.restarts,
+        n_workers=args.workers or None,
+        tracer=tracer,
+    )
+    s = res.stitch
+    footprints = {
+        name: impl.outcome.result.footprint
+        for name, impl in res.implemented.items()
+        if impl.outcome.result.footprint is not None
+    }
+    module_delays = {
+        name: impl.timing.total_ns for name, impl in res.implemented.items()
+    }
+    cmap = congestion_map(design, footprints, s, grid)
+    timing = block_critical_path(design, footprints, s, module_delays)
+    _emit_trace(tracer, args)
+    print(
+        f"{design.name} on {grid.name}: {s.n_placed} placed, "
+        f"{s.n_unplaced} unplaced, wirelength {s.wirelength:.1f}, "
+        f"cost {s.final_cost:.1f}"
+    )
+    print(
+        f"  congestion: peak {cmap.peak_column_demand} "
+        f"(mean {cmap.mean_column_demand:.1f}) wires/channel, "
+        f"{cmap.overflowed_channels} overflowed channels, "
+        f"total overflow {cmap.total_overflow}, "
+        f"{cmap.n_routed_edges} routed / {cmap.n_unrouted_edges} unrouted edges"
+    )
+    print(
+        f"  critical path {timing.critical_path_ns:.2f} ns over "
+        f"{len(timing.path)} blocks "
+        f"({timing.n_cyclic_edges} cyclic, "
+        f"{timing.n_unplaced_edges} unplaced edges)"
+    )
+    if timing.path:
+        print("    " + " -> ".join(timing.path))
+    if args.render:
+        print(cmap.render())
     if not res.ok:
         print(res.infeasible.describe())
         return 1
@@ -705,6 +835,7 @@ _COMMANDS = {
     "evolve": _cmd_evolve,
     "temper": _cmd_temper,
     "gplace": _cmd_gplace,
+    "route": _cmd_route,
     "lint": _cmd_lint,
     "trace": _cmd_trace,
     "report": _cmd_report,

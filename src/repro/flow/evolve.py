@@ -33,6 +33,7 @@ bit-for-bit in any process (``tests/test_determinism_cross_process.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
@@ -43,6 +44,7 @@ from repro.place.shapes import Footprint
 from repro.place_kernel.kernel import KERNELS, PlacementKernel, run_move_batch
 from repro.place_kernel.problem import PlacementProblem
 from repro.place_kernel.result import StitchResult, StitchStats, converge_history
+from repro.place_kernel.route_cost import build_route_model
 from repro.place_kernel.uniform import UniformBuffer
 
 __all__ = ["GAParams", "evolve"]
@@ -87,6 +89,10 @@ class GAParams:
     #: ``SAParams.unplaced_weight`` — required for comparable costs).
     unplaced_weight: float = 40.0
     seed: int = 0
+    #: Weight of the channel-overflow congestion cost term (0.0 = off).
+    congestion_weight: float = 0.0
+    #: Weight of the block-level critical-path cost term (0.0 = off).
+    timing_weight: float = 0.0
 
 
 class _Genome:
@@ -206,6 +212,7 @@ def evolve(
     params: GAParams | None = None,
     *,
     kernel: str = "fast",
+    module_delays: Mapping[str, float] | None = None,
     tracer: Tracer | NullTracer | None = None,
 ) -> StitchResult:
     """Place all instances of ``design`` on ``grid`` with the GA.
@@ -217,6 +224,9 @@ def evolve(
     params:
         GA configuration; ``params.move_budget`` is the SA-comparable
         kernel-operation budget.
+    module_delays:
+        Per-module delays (ns) seeding the timing cost term; ignored
+        unless ``params.timing_weight`` is nonzero.
     kernel:
         Move-kernel choice (``"fast"`` or ``"reference"``); the GA
         produces identical results on either for a fixed seed.
@@ -248,7 +258,13 @@ def evolve(
         with tr.span("evolve.init") as sp_init:
             problem = PlacementProblem.from_design(design, footprints, grid)
             names = problem.names
-            st = problem.make_kernel(kernel, params.unplaced_weight)
+            route = build_route_model(
+                problem,
+                congestion_weight=params.congestion_weight,
+                timing_weight=params.timing_weight,
+                module_delays=module_delays,
+            )
+            st = problem.make_kernel(kernel, params.unplaced_weight, route)
             swappable = problem.swappable
             n = st.n
             budget = _Budget(max(1, params.move_budget))
@@ -360,6 +376,8 @@ def evolve(
 
             wirelength = st.wirelength()
             final_cost = st.total_cost()
+            congestion_cost = st.congestion_cost()
+            timing_cost = st.timing_cost()
             hist, converged_at = converge_history(
                 history, final_cost, budget.used
             )
@@ -378,6 +396,9 @@ def evolve(
         sp_root.set_attr("final_cost", final_cost)
         sp_root.set_attr("generations", generations)
         sp_root.set_attr("converged_at", converged_at)
+        if route is not None:
+            sp_root.set_attr("cost.congestion", congestion_cost)
+            sp_root.set_attr("cost.timing", timing_cost)
 
     stats = StitchStats(
         kernel=kernel,
@@ -407,4 +428,6 @@ def evolve(
         history=tuple(history),
         occupancy=occupancy,
         stats=stats,
+        congestion_cost=congestion_cost,
+        timing_cost=timing_cost,
     )

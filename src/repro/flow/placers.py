@@ -60,11 +60,12 @@ class SAPlacer:
         footprints: Mapping[str, Footprint],
         grid: DeviceGrid,
         *,
+        module_delays: Mapping[str, float] | None = None,
         tracer: Tracer | NullTracer | None = None,
     ) -> StitchResult:
         return stitch(
             design, dict(footprints), grid, self.params,
-            kernel=self.kernel, tracer=tracer,
+            kernel=self.kernel, module_delays=module_delays, tracer=tracer,
         )
 
 
@@ -82,11 +83,12 @@ class GAPlacer:
         footprints: Mapping[str, Footprint],
         grid: DeviceGrid,
         *,
+        module_delays: Mapping[str, float] | None = None,
         tracer: Tracer | NullTracer | None = None,
     ) -> StitchResult:
         return evolve(
             design, dict(footprints), grid, self.params,
-            kernel=self.kernel, tracer=tracer,
+            kernel=self.kernel, module_delays=module_delays, tracer=tracer,
         )
 
 
@@ -110,11 +112,12 @@ class AnalyticPlacer:
         footprints: Mapping[str, Footprint],
         grid: DeviceGrid,
         *,
+        module_delays: Mapping[str, float] | None = None,
         tracer: Tracer | NullTracer | None = None,
     ) -> StitchResult:
         return global_place(
             design, dict(footprints), grid, self.params,
-            kernel=self.kernel, tracer=tracer,
+            kernel=self.kernel, module_delays=module_delays, tracer=tracer,
         )
 
 
@@ -161,6 +164,7 @@ class WarmStartedSAPlacer:
         footprints: Mapping[str, Footprint],
         grid: DeviceGrid,
         *,
+        module_delays: Mapping[str, float] | None = None,
         tracer: Tracer | NullTracer | None = None,
     ) -> StitchResult:
         if self.warm not in ("ga", "gp"):
@@ -172,10 +176,13 @@ class WarmStartedSAPlacer:
             gp = self.gp_params or GPParams(
                 unplaced_weight=self.params.unplaced_weight,
                 seed=self.params.seed,
+                congestion_weight=self.params.congestion_weight,
+                timing_weight=self.params.timing_weight,
             )
             warm = global_place(
                 design, dict(footprints), grid, gp,
-                kernel=self.kernel, tracer=tracer,
+                kernel=self.kernel, module_delays=module_delays,
+                tracer=tracer,
             )
             anneal = replace(
                 self.params,
@@ -191,8 +198,11 @@ class WarmStartedSAPlacer:
                     move_budget=warm_budget,
                     unplaced_weight=self.params.unplaced_weight,
                     seed=self.params.seed,
+                    congestion_weight=self.params.congestion_weight,
+                    timing_weight=self.params.timing_weight,
                 ),
                 kernel=self.kernel,
+                module_delays=module_delays,
                 tracer=tracer,
             )
             anneal = replace(
@@ -206,6 +216,7 @@ class WarmStartedSAPlacer:
             anneal,
             kernel=self.kernel,
             initial_placements=warm.placements,
+            module_delays=module_delays,
             tracer=tracer,
         )
         # A converged warm start can be better than the re-annealed
@@ -239,11 +250,12 @@ class TemperedSAPlacer:
         footprints: Mapping[str, Footprint],
         grid: DeviceGrid,
         *,
+        module_delays: Mapping[str, float] | None = None,
         tracer: Tracer | NullTracer | None = None,
     ) -> StitchResult:
         return temper(
             design, dict(footprints), grid, self.params,
-            kernel=self.kernel, tracer=tracer,
+            kernel=self.kernel, module_delays=module_delays, tracer=tracer,
         )
 
 
@@ -268,6 +280,8 @@ def default_portfolio(
         move_budget=params.max_iters,
         unplaced_weight=params.unplaced_weight,
         seed=params.seed,
+        congestion_weight=params.congestion_weight,
+        timing_weight=params.timing_weight,
     )
     pt = PTParams(
         max_iters=params.max_iters,
@@ -275,6 +289,8 @@ def default_portfolio(
         p_place=params.p_place,
         p_swap=params.p_swap,
         seed=params.seed,
+        congestion_weight=params.congestion_weight,
+        timing_weight=params.timing_weight,
     )
     return (
         SAPlacer(params=params, kernel=kernel),

@@ -43,7 +43,8 @@ __all__ = ["evolve_best", "stitch_best", "temper_best"]
 def _run_one(
     args: tuple[
         BlockDesign, dict[str, Footprint], DeviceGrid, SAParams, str,
-        Mapping[str, tuple[int, int] | None] | None, bool
+        Mapping[str, tuple[int, int] | None] | None,
+        Mapping[str, float] | None, bool
     ],
 ) -> tuple[StitchResult, dict | None]:
     """Worker entry point (module-level so it pickles).
@@ -53,23 +54,26 @@ def _run_one(
     result, so the parent can graft every restart's phase breakdown into
     its own trace exactly once regardless of worker count.
     """
-    design, footprints, grid, params, kernel, initial, want_trace = args
+    design, footprints, grid, params, kernel, initial, delays, want_trace = args
     tr = Tracer() if want_trace else None
     result = stitch(design, footprints, grid, params, kernel=kernel,
-                    initial_placements=initial, tracer=tr)
+                    initial_placements=initial, module_delays=delays,
+                    tracer=tr)
     trace = tr.roots[0].to_json_dict() if tr else None
     return result, trace
 
 
 def _run_one_evolve(
     args: tuple[
-        BlockDesign, dict[str, Footprint], DeviceGrid, GAParams, str, bool
+        BlockDesign, dict[str, Footprint], DeviceGrid, GAParams, str,
+        Mapping[str, float] | None, bool
     ],
 ) -> tuple[StitchResult, dict | None]:
     """GA worker entry point (module-level so it pickles)."""
-    design, footprints, grid, params, kernel, want_trace = args
+    design, footprints, grid, params, kernel, delays, want_trace = args
     tr = Tracer() if want_trace else None
-    result = evolve(design, footprints, grid, params, kernel=kernel, tracer=tr)
+    result = evolve(design, footprints, grid, params, kernel=kernel,
+                    module_delays=delays, tracer=tr)
     trace = tr.roots[0].to_json_dict() if tr else None
     return result, trace
 
@@ -77,7 +81,8 @@ def _run_one_evolve(
 def _run_one_temper(
     args: tuple[
         BlockDesign, dict[str, Footprint], DeviceGrid, PTParams, str,
-        Mapping[str, tuple[int, int] | None] | None, bool
+        Mapping[str, tuple[int, int] | None] | None,
+        Mapping[str, float] | None, bool
     ],
 ) -> tuple[StitchResult, dict | None]:
     """Tempering worker entry point (module-level so it pickles).
@@ -85,10 +90,11 @@ def _run_one_temper(
     Each restart runs its chains serially inside the worker — the
     restart family is already the process-level fan-out.
     """
-    design, footprints, grid, params, kernel, initial, want_trace = args
+    design, footprints, grid, params, kernel, initial, delays, want_trace = args
     tr = Tracer() if want_trace else None
     result = temper(design, footprints, grid, params, kernel=kernel,
-                    initial_placements=initial, tracer=tr)
+                    initial_placements=initial, module_delays=delays,
+                    tracer=tr)
     trace = tr.roots[0].to_json_dict() if tr else None
     return result, trace
 
@@ -118,6 +124,7 @@ def stitch_best(
     seeds: Sequence[int] | None = None,
     kernel: str = "fast",
     initial_placements: Mapping[str, tuple[int, int] | None] | None = None,
+    module_delays: Mapping[str, float] | None = None,
     tracer: Tracer | NullTracer | None = None,
 ) -> StitchResult:
     """Anneal several independent seeds and return the best run.
@@ -141,6 +148,9 @@ def stitch_best(
         Optional warm start every seed anneals from (the analytic
         placer's legalized output in the ``gp+sa`` pipeline); forwarded
         verbatim to each seed's :func:`stitch`.
+    module_delays:
+        Per-module delays (ns) for the timing cost term, forwarded
+        verbatim to each seed's :func:`stitch`.
     tracer:
         Where the ``stitch.restarts`` span is recorded, with one child
         ``stitch`` span per seed (merged back from the workers when the
@@ -161,7 +171,7 @@ def stitch_best(
     ambient = tracer if tracer is not None else current_tracer()
     jobs = [
         (design, footprints, grid, replace(params, seed=s), kernel,
-         initial_placements, ambient.enabled)
+         initial_placements, module_delays, ambient.enabled)
         for s in seeds
     ]
     return _best_of(jobs, _run_one, "stitch.restarts", ambient, n_workers)
@@ -177,6 +187,7 @@ def evolve_best(
     n_workers: int | None = None,
     seeds: Sequence[int] | None = None,
     kernel: str = "fast",
+    module_delays: Mapping[str, float] | None = None,
     tracer: Tracer | NullTracer | None = None,
 ) -> StitchResult:
     """Evolve several independent GA seeds and return the best run.
@@ -192,7 +203,7 @@ def evolve_best(
     ambient = tracer if tracer is not None else current_tracer()
     jobs = [
         (design, footprints, grid, replace(params, seed=s), kernel,
-         ambient.enabled)
+         module_delays, ambient.enabled)
         for s in seeds
     ]
     return _best_of(jobs, _run_one_evolve, "evolve.restarts", ambient, n_workers)
@@ -209,6 +220,7 @@ def temper_best(
     seeds: Sequence[int] | None = None,
     kernel: str = "fast",
     initial_placements: Mapping[str, tuple[int, int] | None] | None = None,
+    module_delays: Mapping[str, float] | None = None,
     tracer: Tracer | NullTracer | None = None,
 ) -> StitchResult:
     """Run several independent tempering seeds and return the best run.
@@ -226,7 +238,7 @@ def temper_best(
     ambient = tracer if tracer is not None else current_tracer()
     jobs = [
         (design, footprints, grid, replace(params, seed=s), kernel,
-         initial_placements, ambient.enabled)
+         initial_placements, module_delays, ambient.enabled)
         for s in seeds
     ]
     return _best_of(

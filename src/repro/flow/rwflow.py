@@ -174,6 +174,11 @@ def run_rw_flow(
             for name, impl in pre.items()
             if impl.outcome.result.footprint is not None
         }
+        # Per-module intra-block delays seed the placers' optional timing
+        # cost term (inert at the default timing_weight == 0.0).
+        module_delays = {
+            name: impl.timing.total_ns for name, impl in pre.items()
+        }
         target = stitch_grid or grid
 
         missing = [i for i in design.instances if i.module not in footprints]
@@ -189,24 +194,26 @@ def run_rw_flow(
                     result = evolve_best(
                         stitchable, footprints, target, ga_params,
                         n_seeds=n_seeds, n_workers=n_workers, kernel=kernel,
-                        tracer=ambient,
+                        module_delays=module_delays, tracer=ambient,
                     )
                 else:
                     result = evolve(
                         stitchable, footprints, target, ga_params,
-                        kernel=kernel, tracer=ambient,
+                        kernel=kernel, module_delays=module_delays,
+                        tracer=ambient,
                     )
             elif placer == "pt":
                 if n_seeds > 1:
                     result = temper_best(
                         stitchable, footprints, target, pt_params,
                         n_seeds=n_seeds, n_workers=n_workers, kernel=kernel,
-                        tracer=ambient,
+                        module_delays=module_delays, tracer=ambient,
                     )
                 else:
                     result = temper(
                         stitchable, footprints, target, pt_params,
-                        kernel=kernel, n_workers=n_workers, tracer=ambient,
+                        kernel=kernel, n_workers=n_workers,
+                        module_delays=module_delays, tracer=ambient,
                     )
             elif placer in ("gp", "gp+sa"):
                 # The analytic placer is deterministic in its seed, so
@@ -215,10 +222,13 @@ def run_rw_flow(
                 sa = sa_params or SAParams()
                 gp = gp_params or GPParams(
                     unplaced_weight=sa.unplaced_weight, seed=sa.seed,
+                    congestion_weight=sa.congestion_weight,
+                    timing_weight=sa.timing_weight,
                 )
                 warm = global_place(
                     stitchable, footprints, target, gp,
-                    kernel=kernel, tracer=ambient,
+                    kernel=kernel, module_delays=module_delays,
+                    tracer=ambient,
                 )
                 if placer == "gp":
                     result = warm
@@ -234,6 +244,7 @@ def run_rw_flow(
                             n_seeds=n_seeds, n_workers=n_workers,
                             kernel=kernel,
                             initial_placements=warm.placements,
+                            module_delays=module_delays,
                             tracer=ambient,
                         )
                     else:
@@ -241,6 +252,7 @@ def run_rw_flow(
                             stitchable, footprints, target, anneal,
                             kernel=kernel,
                             initial_placements=warm.placements,
+                            module_delays=module_delays,
                             tracer=ambient,
                         )
                     result = min(warm, result, key=pareto_key)
@@ -248,12 +260,12 @@ def run_rw_flow(
                 result = stitch_best(
                     stitchable, footprints, target, sa_params,
                     n_seeds=n_seeds, n_workers=n_workers, kernel=kernel,
-                    tracer=ambient,
+                    module_delays=module_delays, tracer=ambient,
                 )
             else:
                 result = stitch(
                     stitchable, footprints, target, sa_params, kernel=kernel,
-                    tracer=ambient,
+                    module_delays=module_delays, tracer=ambient,
                 )
         else:  # nothing placeable: synthesize an empty stitching outcome
             result = StitchResult(

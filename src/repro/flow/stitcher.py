@@ -34,6 +34,7 @@ from repro.place.shapes import Footprint
 from repro.place_kernel.kernel import KERNELS, run_move_batch
 from repro.place_kernel.problem import PlacementProblem
 from repro.place_kernel.result import StitchResult, StitchStats, converge_history
+from repro.place_kernel.route_cost import build_route_model
 from repro.place_kernel.uniform import UniformBuffer
 
 __all__ = ["KERNELS", "SAParams", "StitchResult", "StitchStats", "stitch"]
@@ -55,6 +56,11 @@ class SAParams:
     #: Probability of a same-module swap per move.
     p_swap: float = 0.15
     seed: int = 0
+    #: Weight of the channel-overflow congestion cost term; 0.0 keeps
+    #: the pure HPWL objective (and the goldens) byte-identical.
+    congestion_weight: float = 0.0
+    #: Weight of the block-level critical-path cost term; 0.0 disables.
+    timing_weight: float = 0.0
 
 
 def stitch(
@@ -65,6 +71,7 @@ def stitch(
     *,
     kernel: str = "fast",
     initial_placements: Mapping[str, tuple[int, int] | None] | None = None,
+    module_delays: Mapping[str, float] | None = None,
     tracer: Tracer | NullTracer | None = None,
 ) -> StitchResult:
     """Place all instances of ``design`` on ``grid``.
@@ -91,6 +98,10 @@ def stitch(
         earlier one) leaves that instance unplaced rather than failing.
         Without it the anneal starts from the greedy tallest-first
         packing, exactly as before.
+    module_delays:
+        Per-module intra-block delays in ns seeding the timing cost
+        term (each pre-implemented module's ``TimingReport.total_ns``);
+        ignored unless ``params.timing_weight`` is nonzero.
     tracer:
         Where the run's ``stitch`` span tree is recorded; defaults to
         the ambient tracer.  When the ambient tracer is disabled the run
@@ -118,7 +129,13 @@ def stitch(
         with tr.span("stitch.setup") as sp_setup:
             problem = PlacementProblem.from_design(design, footprints, grid)
             names = problem.names
-            st = problem.make_kernel(kernel, params.unplaced_weight)
+            route = build_route_model(
+                problem,
+                congestion_weight=params.congestion_weight,
+                timing_weight=params.timing_weight,
+                module_delays=module_delays,
+            )
+            st = problem.make_kernel(kernel, params.unplaced_weight, route)
             swappable = problem.swappable
             edges = problem.edges
 
@@ -172,6 +189,8 @@ def stitch(
             # history event when the fill changed the cost).
             wirelength = st.wirelength()
             final_cost = st.total_cost()
+            congestion_cost = st.congestion_cost()
+            timing_cost = st.timing_cost()
             history, converged_at = converge_history(
                 improvements, final_cost, it
             )
@@ -197,6 +216,9 @@ def stitch(
         sp_root.set_attr("n_unplaced", st.n - n_placed)
         sp_root.set_attr("final_cost", final_cost)
         sp_root.set_attr("converged_at", converged_at)
+        if route is not None:
+            sp_root.set_attr("cost.congestion", congestion_cost)
+            sp_root.set_attr("cost.timing", timing_cost)
 
     stats = StitchStats(
         kernel=kernel,
@@ -226,4 +248,6 @@ def stitch(
         history=history,
         occupancy=occupancy,
         stats=stats,
+        congestion_cost=congestion_cost,
+        timing_cost=timing_cost,
     )

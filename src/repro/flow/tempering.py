@@ -67,6 +67,7 @@ from repro.place.shapes import Footprint
 from repro.place_kernel.kernel import KERNELS, PlacementKernel, run_move_batch
 from repro.place_kernel.problem import PlacementProblem
 from repro.place_kernel.result import StitchResult, StitchStats, converge_history
+from repro.place_kernel.route_cost import build_route_model
 from repro.place_kernel.uniform import UniformBuffer
 from repro.utils.rng import stream
 
@@ -105,6 +106,10 @@ class PTParams:
     #: Probability of a same-module swap per move.
     p_swap: float = 0.15
     seed: int = 0
+    #: Weight of the channel-overflow congestion cost term (0.0 = off).
+    congestion_weight: float = 0.0
+    #: Weight of the block-level critical-path cost term (0.0 = off).
+    timing_weight: float = 0.0
 
 
 class _ChainState:
@@ -141,9 +146,21 @@ def _build_kernel(
     grid: DeviceGrid,
     kernel: str,
     unplaced_weight: float,
+    congestion_weight: float = 0.0,
+    timing_weight: float = 0.0,
+    module_delays: Mapping[str, float] | None = None,
 ) -> tuple[PlacementKernel, tuple[tuple[int, ...], ...], int]:
     problem = PlacementProblem.from_design(design, footprints, grid)
-    st = problem.make_kernel(kernel, unplaced_weight)
+    # Rebuilt identically in every process: build_route_model is a pure
+    # function of the problem and the weights, so each worker scores the
+    # same objective bit-for-bit.
+    route = build_route_model(
+        problem,
+        congestion_weight=congestion_weight,
+        timing_weight=timing_weight,
+        module_delays=module_delays,
+    )
+    st = problem.make_kernel(kernel, unplaced_weight, route)
     return st, problem.swappable, len(problem.edges)
 
 
@@ -153,10 +170,14 @@ def _init_worker(
     grid: DeviceGrid,
     kernel: str,
     unplaced_weight: float,
+    congestion_weight: float = 0.0,
+    timing_weight: float = 0.0,
+    module_delays: Mapping[str, float] | None = None,
 ) -> None:
     """FanOut initializer: build this process's kernel exactly once."""
     _WORKER["ctx"] = _build_kernel(
-        design, footprints, grid, kernel, unplaced_weight
+        design, footprints, grid, kernel, unplaced_weight,
+        congestion_weight, timing_weight, module_delays,
     )
 
 
@@ -249,6 +270,7 @@ def temper(
     kernel: str = "fast",
     n_workers: int | None = None,
     initial_placements: Mapping[str, tuple[int, int] | None] | None = None,
+    module_delays: Mapping[str, float] | None = None,
     tracer: Tracer | NullTracer | None = None,
 ) -> StitchResult:
     """Place all instances of ``design`` with cooperative replica exchange.
@@ -269,6 +291,10 @@ def temper(
         :func:`~repro.flow.stitcher.stitch`: anchors apply in instance
         order, non-fitting anchors stay unplaced).  Without it the
         ladder starts from the greedy tallest-first packing.
+    module_delays:
+        Per-module delays (ns) seeding the timing cost term; ignored
+        unless ``params.timing_weight`` is nonzero.  Shipped to every
+        worker so all chains score the identical objective.
     n_workers:
         Worker processes to fan the chains over per exchange block.
         ``None``, 0 or 1 runs serially in-process; the result is
@@ -334,6 +360,7 @@ def temper(
         fan: FanOut | None = None
         try:
             with tr.span("tempering.init") as sp_init:
+                delays = dict(module_delays) if module_delays else None
                 fan = FanOut(
                     n_workers,
                     n_chains,
@@ -341,12 +368,16 @@ def temper(
                     initargs=(
                         design, footprints, grid, kernel,
                         params.unplaced_weight,
+                        params.congestion_weight, params.timing_weight,
+                        delays,
                     ),
                 )
                 if fan.pooled:
                     st, swappable, n_edges = _build_kernel(
                         design, footprints, grid, kernel,
                         params.unplaced_weight,
+                        params.congestion_weight, params.timing_weight,
+                        delays,
                     )
                 else:
                     # Serial: the parent shares the single in-process
@@ -502,6 +533,8 @@ def temper(
                 st.first_fit_fill()
                 wirelength = st.wirelength()
                 final_cost = st.total_cost()
+                congestion_cost = st.congestion_cost()
+                timing_cost = st.timing_cost()
                 occupancy = st.occupancy_array()
                 placements = {names[i]: st.pos[i] for i in range(st.n)}
                 n_placed = sum(1 for p in st.pos if p is not None)
@@ -524,6 +557,9 @@ def temper(
         sp_root.set_attr("n_exchanges", n_exchanges)
         sp_root.set_attr("n_exchange_accepts", n_swaps)
         sp_root.set_attr("n_migrations", n_migrations)
+        if st.route is not None:
+            sp_root.set_attr("cost.congestion", congestion_cost)
+            sp_root.set_attr("cost.timing", timing_cost)
 
     # Counters come from the aggregated per-task deltas, never from raw
     # parent-kernel counters, so serial and pooled runs report the same
@@ -557,4 +593,6 @@ def temper(
         history=hist,
         occupancy=occupancy,
         stats=stats,
+        congestion_cost=congestion_cost,
+        timing_cost=timing_cost,
     )

@@ -33,6 +33,13 @@ from repro.place_kernel.kernel import (
 from repro.place_kernel.problem import PlacementProblem
 from repro.place_kernel.protocol import Placer
 from repro.place_kernel.result import StitchResult, StitchStats
+from repro.place_kernel.route_cost import (
+    CHANNEL_CAPACITY,
+    RouteCostModel,
+    build_route_model,
+    channel_window,
+    edge_criticality,
+)
 from repro.place_kernel.sites import (
     HARD_KINDS,
     HARD_PITCH,
@@ -44,6 +51,7 @@ from repro.place_kernel.sites import (
 from repro.place_kernel.uniform import UniformBuffer
 
 __all__ = [
+    "CHANNEL_CAPACITY",
     "HARD_KINDS",
     "HARD_PITCH",
     "KERNELS",
@@ -52,12 +60,16 @@ __all__ = [
     "PlacementKernel",
     "PlacementProblem",
     "ReferenceKernel",
+    "RouteCostModel",
     "SiteTable",
     "StitchResult",
     "StitchStats",
     "UniformBuffer",
+    "build_route_model",
+    "channel_window",
     "column_capacities",
     "dilate_down",
+    "edge_criticality",
     "make_kernel",
     "site_table",
 ]

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.device.grid import DeviceGrid
 from repro.place.shapes import Footprint
+from repro.place_kernel.route_cost import RouteCostModel
 from repro.place_kernel.sites import SiteTable, dilate_down, site_table
 from repro.place_kernel.uniform import UniformBuffer
 
@@ -73,6 +74,7 @@ class PlacementKernel:
         footprints: list[Footprint],
         edges: list[tuple[int, int, int]],
         unplaced_weight: float,
+        route: RouteCostModel | None = None,
     ) -> None:
         self.grid = grid
         self.names = names
@@ -113,6 +115,30 @@ class PlacementKernel:
         self.move_accepts = 0
         self.place_accepts = 0
         self.swap_accepts = 0
+        # Optional routing/timing cost terms.  With route=None (the
+        # default) every code path below is byte-identical to the pure
+        # HPWL kernel — the zero-weight neutrality the goldens pin.
+        self.route = route
+        self._cong = route is not None and route.has_congestion
+        self._tw = (
+            list(route.timing_edge_weight)
+            if route is not None and route.has_timing
+            else None
+        )
+        if route is not None:
+            # Center offsets for the channel/timing geometry (the same
+            # trimmed-footprint half extents the HPWL centers use).
+            self._chw = [self.tables[t].half_w for t in self.table_of]
+            self._chh = [self.tables[t].half_h for t in self.table_of]
+        if self._tw is not None:
+            # Effective per-edge weights: HPWL width plus the quantized
+            # timing weight.  Both are dyadic, so folding them keeps the
+            # incident-cost sums exact (bitwise fast==reference).
+            self._effw = [
+                float(e[2]) + self._tw[ei] for ei, e in enumerate(edges)
+            ]
+        else:
+            self._effw = None
 
     # ------------------------------------------------------------ primitives
 
@@ -223,7 +249,107 @@ class PlacementKernel:
         pen = self.unplaced_weight * sum(
             self.areas[i] for i in range(self.n) if self.pos[i] is None
         )
-        return self.wirelength() + pen
+        if self.route is None:
+            return self.wirelength() + pen
+        return (
+            self.wirelength() + pen + self.timing_cost()
+            + self.congestion_cost()
+        )
+
+    # ------------------------------------------------------------ route cost
+
+    def _edge_window(self, ei: int) -> tuple[int, int, int, int] | None:
+        """Clipped channel windows ``(c0, c1, r0, r1)`` of edge ``ei``.
+
+        ``None`` unless both endpoints are placed; either axis range may
+        be empty (``c1 < c0``) for nets that cross no boundary there.
+        """
+        a, b, _w = self.edges[ei]
+        pa, pb = self.pos[a], self.pos[b]
+        if pa is None or pb is None:
+            return None
+        ax = pa[0] + self._chw[a]
+        bx = pb[0] + self._chw[b]
+        ay = pa[1] + self._chh[a]
+        by = pb[1] + self._chh[b]
+        if ax > bx:
+            ax, bx = bx, ax
+        if ay > by:
+            ay, by = by, ay
+        route = self.route
+        c0 = max(0, math.floor(ax))
+        c1 = min(route.n_col_channels - 1, math.ceil(bx) - 2)
+        r0 = max(0, math.floor(ay))
+        r1 = min(route.n_row_channels - 1, math.ceil(by) - 2)
+        return c0, c1, r0, r1
+
+    def _scratch_congestion(self) -> tuple[np.ndarray, np.ndarray, int]:
+        """From-scratch integer channel demand and total overflow.
+
+        The executable specification of the fast kernel's incremental
+        overflow: ``(column_demand, row_demand, overflow)`` recomputed
+        from the current positions.  All-integer, so it agrees with the
+        incremental path exactly, not approximately.
+        """
+        route = self.route
+        col = np.zeros(route.n_col_channels, dtype=np.int64)
+        row = np.zeros(route.n_row_channels, dtype=np.int64)
+        for ei, e in enumerate(self.edges):
+            win = self._edge_window(ei)
+            if win is None:
+                continue
+            c0, c1, r0, r1 = win
+            w = e[2]
+            if c1 >= c0:
+                col[c0 : c1 + 1] += w
+            if r1 >= r0:
+                row[r0 : r1 + 1] += w
+        cap = route.capacity
+        over = int(np.maximum(col - cap, 0).sum()) + int(
+            np.maximum(row - cap, 0).sum()
+        )
+        return col, row, over
+
+    def congestion_overflow(self) -> int:
+        """Total wires above channel capacity, summed over all channels.
+
+        Only meaningful when the congestion term is enabled; the fast
+        kernel overrides this with its incrementally maintained count.
+        """
+        if self.route is None:
+            return 0
+        return self._scratch_congestion()[2]
+
+    def congestion_cost(self) -> float:
+        """``congestion_weight * overflow`` (0.0 when disabled)."""
+        if not self._cong:
+            return 0.0
+        return self.route.congestion_weight * self.congestion_overflow()
+
+    def timing_cost(self) -> float:
+        """Distance-proportional timing term (0.0 when disabled).
+
+        ``sum_e tw_e * (|dx| + |dy|)`` over placed-placed edges with the
+        quantized criticality weights — exact in any summation order.
+        """
+        tw = self._tw
+        if tw is None:
+            return 0.0
+        pos = self.pos
+        chw = self._chw
+        chh = self._chh
+        total = 0.0
+        for ei, (a, b, _w) in enumerate(self.edges):
+            wt = tw[ei]
+            if not wt:
+                continue
+            pa, pb = pos[a], pos[b]
+            if pa is None or pb is None:
+                continue
+            dx = abs((pa[0] + chw[a]) - (pb[0] + chw[b]))
+            dy = abs((pa[1] + chh[a]) - (pb[1] + chh[b]))
+            total += wt * (dx + dy)
+        return total
 
     # ------------------------------------------------------------ initial
 
@@ -298,8 +424,12 @@ class PlacementKernel:
             self.illegal += 1
             return 0.0
         before = self.incident_cost(i)
+        if self._cong:
+            before += self.route.congestion_weight * self.congestion_overflow()
         self.set_pos(i, (x, y))
         after = self.incident_cost(i)
+        if self._cong:
+            after += self.route.congestion_weight * self.congestion_overflow()
         delta = after - before
         if delta <= 0 or u.next() < math.exp(-delta / max(temp, 1e-9)):
             self.paint(i, x, y, +1)
@@ -312,6 +442,11 @@ class PlacementKernel:
     def try_place(self, i: int, u: UniformBuffer) -> float:
         """Attempt to place an unplaced instance (always beneficial)."""
         self.place_attempts += 1
+        cong_before = (
+            self.route.congestion_weight * self.congestion_overflow()
+            if self._cong
+            else 0.0
+        )
         for _ in range(8):
             site = self.random_site(i, u)
             if site is None:
@@ -322,6 +457,12 @@ class PlacementKernel:
                 self.paint(i, x, y, +1)
                 self.place_accepts += 1
                 gain = self.incident_cost(i) - self.unplaced_weight * self.areas[i]
+                if self._cong:
+                    gain += (
+                        self.route.congestion_weight
+                        * self.congestion_overflow()
+                        - cong_before
+                    )
                 return gain
             self.illegal += 1
         return 0.0
@@ -333,9 +474,13 @@ class PlacementKernel:
         if pi is None or pj is None or pi == pj:
             return 0.0
         before = self.incident_cost(i) + self.incident_cost(j)
+        if self._cong:
+            before += self.route.congestion_weight * self.congestion_overflow()
         self.set_pos(i, pj)
         self.set_pos(j, pi)
         after = self.incident_cost(i) + self.incident_cost(j)
+        if self._cong:
+            after += self.route.congestion_weight * self.congestion_overflow()
         delta = after - before
         if delta <= 0 or u.next() < math.exp(-delta / max(temp, 1e-9)):
             self.swap_accepts += 1
@@ -350,8 +495,10 @@ class ReferenceKernel(PlacementKernel):
 
     name = "reference"
 
-    def __init__(self, grid, names, footprints, edges, unplaced_weight) -> None:
-        super().__init__(grid, names, footprints, edges, unplaced_weight)
+    def __init__(
+        self, grid, names, footprints, edges, unplaced_weight, route=None
+    ) -> None:
+        super().__init__(grid, names, footprints, edges, unplaced_weight, route)
         self.occ = np.zeros((grid.n_cols, grid.height_clbs), dtype=np.int16)
         self.heights = [self.tables[t].heights_arr for t in self.table_of]
 
@@ -401,7 +548,20 @@ class ReferenceKernel(PlacementKernel):
         return w * (abs(ax - bx) + abs(ay - by))
 
     def incident_cost(self, i: int) -> float:
-        return sum(self.edge_cost(ei) for ei in self.incident[i])
+        effw = self._effw
+        if effw is None:
+            return sum(self.edge_cost(ei) for ei in self.incident[i])
+        # Timing-aware: the same per-edge distances, weighted by the
+        # effective (HPWL + quantized timing) weights.
+        total = 0.0
+        for ei in self.incident[i]:
+            a, b, _w = self.edges[ei]
+            if self.pos[a] is None or self.pos[b] is None:
+                continue
+            ax, ay = self.center(a)
+            bx, by = self.center(b)
+            total += effw[ei] * (abs(ax - bx) + abs(ay - by))
+        return total
 
     def wirelength(self) -> float:
         return sum(self.edge_cost(ei) for ei in range(len(self.edges)))
@@ -412,8 +572,10 @@ class FastKernel(PlacementKernel):
 
     name = "fast"
 
-    def __init__(self, grid, names, footprints, edges, unplaced_weight) -> None:
-        super().__init__(grid, names, footprints, edges, unplaced_weight)
+    def __init__(
+        self, grid, names, footprints, edges, unplaced_weight, route=None
+    ) -> None:
+        super().__init__(grid, names, footprints, edges, unplaced_weight, route)
         # Occupancy as one big-int bitmask per column: bit y set means CLB
         # row y is occupied.  fits() is then a shift+AND per column.
         self.colmask = [0] * grid.n_cols
@@ -433,10 +595,14 @@ class FastKernel(PlacementKernel):
         self.ew = np.fromiter((e[2] for e in edges), dtype=np.float64, count=len(edges))
         # Neighbor lists (other endpoint, weight) per instance; nodes with
         # many incident edges also get index arrays for a gathered sum.
+        # With the timing term enabled the neighbor weights are the
+        # *effective* (HPWL + quantized timing) weights, so the per-move
+        # incident sums price both terms in one pass.
         self.nbrs: list[list[tuple[int, int]]] = [[] for _ in range(self.n)]
-        for a, b, w in edges:
-            self.nbrs[a].append((b, w))
-            self.nbrs[b].append((a, w))
+        for ei, (a, b, w) in enumerate(edges):
+            wc = w if self._effw is None else self._effw[ei]
+            self.nbrs[a].append((b, wc))
+            self.nbrs[b].append((a, wc))
         self.nbr_idx: list[np.ndarray | None] = [None] * self.n
         self.nbr_w: list[np.ndarray | None] = [None] * self.n
         for i, nb in enumerate(self.nbrs):
@@ -447,6 +613,23 @@ class FastKernel(PlacementKernel):
                 self.nbr_w[i] = np.fromiter(
                     (w for _, w in nb), dtype=np.float64, count=len(nb)
                 )
+        # Timing weights as a flat array for the vectorized timing_cost.
+        self._twa = (
+            np.array(self._tw, dtype=np.float64)
+            if self._tw is not None
+            else None
+        )
+        # Incremental channel-demand state: integer demand per channel,
+        # the running overflow, and the channel window each edge has
+        # currently applied (so removal exactly undoes addition through
+        # moves, swaps, clears and restores — O(deg) per set_pos).
+        if self._cong:
+            self._col_dem = np.zeros(route.n_col_channels, dtype=np.int64)
+            self._row_dem = np.zeros(route.n_row_channels, dtype=np.int64)
+            self._ovf = 0
+            self._ewin: list[tuple[int, int, int, int] | None] = (
+                [None] * len(edges)
+            )
 
     # ------------------------------------------------------------ geometry
 
@@ -478,6 +661,44 @@ class FastKernel(PlacementKernel):
             self.cxa[i] = cx
             self.cya[i] = cy
             self.placed_arr[i] = True
+        if self._cong:
+            self._cong_update(i)
+
+    # ---------------------------------------------------- congestion (incr)
+
+    def _cong_apply(
+        self, ei: int, win: tuple[int, int, int, int], sign: int
+    ) -> None:
+        """Add/remove edge ``ei``'s demand over ``win``, tracking overflow."""
+        w = self.edges[ei][2] * sign
+        cap = self.route.capacity
+        c0, c1, r0, r1 = win
+        if c1 >= c0:
+            seg = self._col_dem[c0 : c1 + 1]
+            over0 = int(np.maximum(seg - cap, 0).sum())
+            seg += w
+            self._ovf += int(np.maximum(seg - cap, 0).sum()) - over0
+        if r1 >= r0:
+            seg = self._row_dem[r0 : r1 + 1]
+            over0 = int(np.maximum(seg - cap, 0).sum())
+            seg += w
+            self._ovf += int(np.maximum(seg - cap, 0).sum()) - over0
+
+    def _cong_update(self, i: int) -> None:
+        """Re-derive the applied channel windows of ``i``'s incident edges."""
+        for ei in self.incident[i]:
+            old = self._ewin[ei]
+            if old is not None:
+                self._cong_apply(ei, old, -1)
+            win = self._edge_window(ei)
+            self._ewin[ei] = win
+            if win is not None:
+                self._cong_apply(ei, win, +1)
+
+    def congestion_overflow(self) -> int:
+        if not self._cong:
+            return super().congestion_overflow()
+        return self._ovf
 
     def lowest_fit_y(self, i: int, x: int, bound: int | None = None) -> int | None:
         t = self.tables[self.table_of[i]]
@@ -570,6 +791,16 @@ class FastKernel(PlacementKernel):
         dy = np.abs(self.cya[self.ea] - self.cya[self.eb])
         return float(np.sum(np.where(both, self.ew * (dx + dy), 0.0)))
 
+    def timing_cost(self) -> float:
+        # Vectorized peer of the base-class loop; dyadic weights make
+        # the different summation order bitwise-irrelevant.
+        if self._twa is None or self.ea.size == 0:
+            return 0.0
+        both = self.placed_arr[self.ea] & self.placed_arr[self.eb]
+        dx = np.abs(self.cxa[self.ea] - self.cxa[self.eb])
+        dy = np.abs(self.cya[self.ea] - self.cya[self.eb])
+        return float(np.sum(np.where(both, self._twa * (dx + dy), 0.0)))
+
 
 #: Incident-edge count above which per-move cost uses the numpy gather
 #: path; below it a scalar loop over cached centers is faster (the CNV
@@ -589,11 +820,19 @@ def make_kernel(
     footprints: list[Footprint],
     edges: list[tuple[int, int, int]],
     unplaced_weight: float,
+    route: RouteCostModel | None = None,
 ) -> PlacementKernel:
-    """Instantiate a move kernel by name (``"fast"`` or ``"reference"``)."""
+    """Instantiate a move kernel by name (``"fast"`` or ``"reference"``).
+
+    ``route`` enables the optional congestion/timing cost terms
+    (:mod:`repro.place_kernel.route_cost`); ``None`` keeps the pure
+    HPWL objective and the historical code paths byte-identical.
+    """
     if kernel not in _KERNELS:
         raise ValueError(f"unknown kernel {kernel!r}; choose from {KERNELS}")
-    return _KERNELS[kernel](grid, names, footprints, edges, unplaced_weight)
+    return _KERNELS[kernel](
+        grid, names, footprints, edges, unplaced_weight, route
+    )
 
 
 def run_move_batch(

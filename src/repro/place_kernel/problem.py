@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Mapping
 from repro.device.grid import DeviceGrid
 from repro.place.shapes import Footprint
 from repro.place_kernel.kernel import PlacementKernel, make_kernel
+from repro.place_kernel.route_cost import RouteCostModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a flow cycle
     from repro.flow.blockdesign import BlockDesign
@@ -43,6 +44,10 @@ class PlacementProblem:
     swappable:
         Same-module instance-index groups of size >= 2 (the swap move's
         candidate pool), in first-instance order.
+    modules:
+        Per-instance module names (``modules[i]`` goes with
+        ``names[i]``), for seeding per-module delays into the timing
+        cost term; empty for problems built without design context.
     """
 
     grid: DeviceGrid
@@ -50,6 +55,7 @@ class PlacementProblem:
     footprints: tuple[Footprint, ...]
     edges: tuple[tuple[int, int, int], ...]
     swappable: tuple[tuple[int, ...], ...]
+    modules: tuple[str, ...] = ()
 
     @classmethod
     def from_design(
@@ -82,6 +88,7 @@ class PlacementProblem:
             footprints=tuple(fps),
             edges=tuple(edges),
             swappable=tuple(swappable),
+            modules=tuple(i.module for i in design.instances),
         )
 
     @property
@@ -89,8 +96,18 @@ class PlacementProblem:
         """Number of instances."""
         return len(self.names)
 
-    def make_kernel(self, kernel: str, unplaced_weight: float) -> PlacementKernel:
-        """A fresh move kernel over this problem."""
+    def make_kernel(
+        self,
+        kernel: str,
+        unplaced_weight: float,
+        route: RouteCostModel | None = None,
+    ) -> PlacementKernel:
+        """A fresh move kernel over this problem.
+
+        ``route`` enables the optional congestion/timing cost terms
+        (see :func:`repro.place_kernel.route_cost.build_route_model`);
+        ``None`` keeps the pure HPWL objective.
+        """
         return make_kernel(
             kernel,
             self.grid,
@@ -98,4 +115,5 @@ class PlacementProblem:
             list(self.footprints),
             list(self.edges),
             unplaced_weight,
+            route,
         )

@@ -43,7 +43,13 @@ class Placer(Protocol):
         footprints: Mapping[str, Footprint],
         grid: DeviceGrid,
         *,
+        module_delays: Mapping[str, float] | None = None,
         tracer: "Tracer | NullTracer | None" = None,
     ) -> StitchResult:
-        """Place all instances of ``design`` on ``grid``."""
+        """Place all instances of ``design`` on ``grid``.
+
+        ``module_delays`` (module name -> intra-block delay in ns) seeds
+        the optional timing cost term; placers whose configuration has
+        ``timing_weight == 0.0`` ignore it.
+        """
         ...

@@ -3,10 +3,30 @@
 Reproduces the paper's Table I observation: tighter PBlocks use fewer
 slices but worsen timing, because higher utilization forces routing
 detours.  The model combines logic depth, congestion-dependent net delay,
-carry propagation and fanout/clock-region penalties.
+carry propagation and fanout/clock-region penalties.  At the design
+level, :func:`congestion_map` and :func:`block_critical_path` score a
+stitched placement with the same channel/delay model the
+congestion/timing-aware move kernels optimize in the loop.
 """
 
-from repro.route.congestion_map import CongestionMap, congestion_map
-from repro.route.timing import TimingReport, longest_path
+from repro.route.congestion_map import (
+    CHANNEL_CAPACITY,
+    CongestionMap,
+    congestion_map,
+)
+from repro.route.timing import (
+    BlockTimingReport,
+    TimingReport,
+    block_critical_path,
+    longest_path,
+)
 
-__all__ = ["CongestionMap", "TimingReport", "congestion_map", "longest_path"]
+__all__ = [
+    "CHANNEL_CAPACITY",
+    "BlockTimingReport",
+    "CongestionMap",
+    "TimingReport",
+    "block_critical_path",
+    "congestion_map",
+    "longest_path",
+]

@@ -4,6 +4,14 @@ Decomposes every inter-block bus into horizontal and vertical demand over
 the fabric columns/rows it crosses (HPWL routing model).  Dense, compact
 placements shorten the buses and lower peak channel demand — the routing
 face of the paper's §VIII cost improvement.
+
+A bus charges exactly the channels its bounding box *crosses*: channel
+``c`` sits between integer coordinates ``c`` and ``c + 1``, and a net
+spanning ``[x0, x1]`` crosses the integer boundaries strictly inside
+``(x0, x1)`` (boundary ``k`` belongs to channel ``k - 1``).  This is the
+same :func:`~repro.place_kernel.route_cost.channel_window` model the
+congestion-aware move kernels maintain incrementally, so a placement
+optimized under the in-loop congestion term scores identically here.
 """
 
 from __future__ import annotations
@@ -14,13 +22,11 @@ import numpy as np
 
 from repro.device.grid import DeviceGrid
 from repro.flow.blockdesign import BlockDesign
-from repro.flow.stitcher import StitchResult
 from repro.place.shapes import Footprint
+from repro.place_kernel.result import StitchResult
+from repro.place_kernel.route_cost import CHANNEL_CAPACITY
 
-__all__ = ["CongestionMap", "congestion_map"]
-
-#: Wires one inter-column channel can carry in this model.
-CHANNEL_CAPACITY = 160
+__all__ = ["CHANNEL_CAPACITY", "CongestionMap", "congestion_map"]
 
 
 @dataclass(frozen=True)
@@ -34,12 +40,17 @@ class CongestionMap:
     row_demand:
         Wires crossing each horizontal channel.
     n_routed_edges:
-        Edges with both endpoints placed.
+        Edges with both endpoints placed (and both modules footprinted).
+    n_unrouted_edges:
+        Edges skipped because an endpoint is unplaced or its module has
+        no footprint (subset flows hand the stitcher partial footprint
+        maps); these contribute no demand.
     """
 
     column_demand: np.ndarray
     row_demand: np.ndarray
     n_routed_edges: int
+    n_unrouted_edges: int = 0
 
     @property
     def peak_column_demand(self) -> int:
@@ -57,6 +68,18 @@ class CongestionMap:
         return int(np.sum(self.column_demand > CHANNEL_CAPACITY)) + int(
             np.sum(self.row_demand > CHANNEL_CAPACITY)
         )
+
+    @property
+    def total_overflow(self) -> int:
+        """Total demand beyond capacity, summed over all channels.
+
+        The quantity the kernels' congestion cost term weights:
+        ``sum(max(0, demand - capacity))`` over vertical and horizontal
+        channels.
+        """
+        over = np.maximum(self.column_demand - CHANNEL_CAPACITY, 0).sum()
+        over += np.maximum(self.row_demand - CHANNEL_CAPACITY, 0).sum()
+        return int(over)
 
     def render(self, width: int = 60) -> str:
         """One-line bar chart of the vertical-channel profile."""
@@ -77,7 +100,12 @@ def congestion_map(
     stitch: StitchResult,
     grid: DeviceGrid,
 ) -> CongestionMap:
-    """Build the demand map for a stitched placement."""
+    """Build the demand map for a stitched placement.
+
+    Instances whose module has no footprint (partial footprint maps from
+    subset flows) are treated as unplaced: their edges are counted in
+    ``n_unrouted_edges`` instead of raising.
+    """
     col_demand = np.zeros(max(0, grid.n_cols - 1), dtype=np.int64)
     row_demand = np.zeros(max(0, grid.height_clbs - 1), dtype=np.int64)
 
@@ -86,25 +114,52 @@ def congestion_map(
     for name, pos in stitch.placements.items():
         if pos is None:
             continue
-        fp = footprints[module_of[name]].trimmed()
+        fp = footprints.get(module_of[name])
+        if fp is None:
+            continue
+        fp = fp.trimmed()
         centers[name] = (pos[0] + fp.width / 2.0, pos[1] + fp.max_height / 2.0)
 
-    routed = 0
+    # Gather routable edges into flat arrays, then range-add each edge's
+    # channel window with a difference array + cumsum (vectorized over
+    # edges; no per-edge Python slice assignments).
+    ax, ay, bx, by, w = [], [], [], [], []
+    routed = unrouted = 0
     for e in design.edges:
         a = centers.get(e.src)
         b = centers.get(e.dst)
         if a is None or b is None:
+            unrouted += 1
             continue
         routed += 1
-        x0, x1 = sorted((a[0], b[0]))
-        y0, y1 = sorted((a[1], b[1]))
-        lo, hi = int(np.floor(x0)), int(np.ceil(x1)) - 1
-        if hi >= lo and col_demand.size:
-            col_demand[max(0, lo) : min(col_demand.size, hi + 1)] += e.width
-        lo, hi = int(np.floor(y0)), int(np.ceil(y1)) - 1
-        if hi >= lo and row_demand.size:
-            row_demand[max(0, lo) : min(row_demand.size, hi + 1)] += e.width
+        ax.append(a[0])
+        ay.append(a[1])
+        bx.append(b[0])
+        by.append(b[1])
+        w.append(e.width)
+
+    if routed:
+        wa = np.asarray(w, dtype=np.int64)
+        for lo_f, hi_f, demand in (
+            (np.minimum(ax, bx), np.maximum(ax, bx), col_demand),
+            (np.minimum(ay, by), np.maximum(ay, by), row_demand),
+        ):
+            if not demand.size:
+                continue
+            # channel_window(lo, hi), vectorized and clipped to the grid.
+            first = np.clip(np.floor(lo_f).astype(np.int64), 0, demand.size)
+            last = np.clip(
+                np.ceil(hi_f).astype(np.int64) - 2, -1, demand.size - 1
+            )
+            sel = first <= last
+            diff = np.zeros(demand.size + 1, dtype=np.int64)
+            np.add.at(diff, first[sel], wa[sel])
+            np.add.at(diff, last[sel] + 1, -wa[sel])
+            demand += np.cumsum(diff[:-1])
 
     return CongestionMap(
-        column_demand=col_demand, row_demand=row_demand, n_routed_edges=routed
+        column_demand=col_demand,
+        row_demand=row_demand,
+        n_routed_edges=routed,
+        n_unrouted_edges=unrouted,
     )

@@ -16,13 +16,30 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
 
 from repro.netlist.stats import NetlistStats
 from repro.place.packer import PackResult
 from repro.pblock.pblock import PBlock
+from repro.place_kernel.route_cost import (
+    DEFAULT_NODE_DELAY_NS,
+    NET_DELAY_NS,
+    NS_PER_CLB,
+    dag_longest_paths,
+)
 from repro.utils.rng import module_noise
 
-__all__ = ["TimingReport", "longest_path"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.flow.blockdesign import BlockDesign
+    from repro.place.shapes import Footprint
+    from repro.place_kernel.result import StitchResult
+
+__all__ = [
+    "BlockTimingReport",
+    "TimingReport",
+    "block_critical_path",
+    "longest_path",
+]
 
 _T_LUT = 0.124  # ns, LUT6 logic delay
 _T_NET = 0.45  # ns, lightly-loaded net hop
@@ -81,4 +98,102 @@ def longest_path(
         carry_ns=carry_ns,
         fanout_ns=fanout_ns,
         skew_ns=skew_ns,
+    )
+
+
+@dataclass(frozen=True)
+class BlockTimingReport:
+    """Design-level critical path over the stitched block graph.
+
+    The block graph's node delays are the per-module intra-block longest
+    paths (:attr:`TimingReport.total_ns`); each inter-block net adds a
+    nominal hop plus a distance-proportional share
+    (:data:`~repro.place_kernel.route_cost.NS_PER_CLB` per CLB of
+    Manhattan center distance) — the placement-dependent component the
+    kernels' timing cost term optimizes.
+
+    Attributes
+    ----------
+    critical_path_ns:
+        Longest register-to-register path over the placed block graph.
+    path:
+        Instance names along the critical path, source to sink.
+    n_cyclic_edges:
+        Design edges on directed cycles, excluded from the longest-path
+        analysis (the in-loop cost term instead treats them as maximally
+        critical).
+    n_unplaced_edges:
+        Edges with an unplaced endpoint; they contribute the nominal hop
+        delay but no distance share.
+    """
+
+    critical_path_ns: float
+    path: tuple[str, ...]
+    n_cyclic_edges: int
+    n_unplaced_edges: int
+
+
+def block_critical_path(
+    design: "BlockDesign",
+    footprints: Mapping[str, "Footprint"],
+    stitch: "StitchResult",
+    module_delays: Mapping[str, float] | None = None,
+) -> BlockTimingReport:
+    """Critical path of a stitched design with placement-aware net delays.
+
+    ``module_delays`` maps module names to intra-block delays in ns (the
+    flow seeds it from each pre-implemented module's
+    :attr:`TimingReport.total_ns`); absent modules fall back to
+    :data:`~repro.place_kernel.route_cost.DEFAULT_NODE_DELAY_NS`.
+    Instances whose module has no footprint are treated as unplaced.
+    """
+    delays_of = module_delays or {}
+    names = [i.name for i in design.instances]
+    index = {n: k for k, n in enumerate(names)}
+    node_delay = [
+        float(delays_of.get(i.module, DEFAULT_NODE_DELAY_NS))
+        for i in design.instances
+    ]
+    centers: dict[str, tuple[float, float]] = {}
+    for inst in design.instances:
+        pos = stitch.placements.get(inst.name)
+        fp = footprints.get(inst.module)
+        if pos is None or fp is None:
+            continue
+        fp = fp.trimmed()
+        centers[inst.name] = (
+            pos[0] + fp.width / 2.0,
+            pos[1] + fp.max_height / 2.0,
+        )
+
+    edges = [(index[e.src], index[e.dst], e.width) for e in design.edges]
+    edge_delay = []
+    unplaced = 0
+    for e in design.edges:
+        a = centers.get(e.src)
+        b = centers.get(e.dst)
+        if a is None or b is None:
+            unplaced += 1
+            edge_delay.append(NET_DELAY_NS)
+        else:
+            dist = abs(a[0] - b[0]) + abs(a[1] - b[1])
+            edge_delay.append(NET_DELAY_NS + NS_PER_CLB * dist)
+
+    n = len(names)
+    if n == 0:
+        return BlockTimingReport(0.0, (), 0, 0)
+    arrival, _leaving, pred, cyclic = dag_longest_paths(
+        n, edges, node_delay, edge_delay
+    )
+    sink = max(range(n), key=lambda v: (arrival[v], -v))
+    path = [names[sink]]
+    v = sink
+    while pred[v] != -1:
+        v = edges[pred[v]][0]
+        path.append(names[v])
+    return BlockTimingReport(
+        critical_path_ns=float(arrival[sink]),
+        path=tuple(reversed(path)),
+        n_cyclic_edges=sum(cyclic),
+        n_unplaced_edges=unplaced,
     )

@@ -295,3 +295,33 @@ class TestStitchCommand:
         out = capsys.readouterr().out
         assert "kernel=reference" in out
         assert "#" in out  # the occupancy map
+
+    def test_route_weight_defaults(self):
+        for cmd in ("stitch", "evolve", "temper", "gplace", "route"):
+            args = build_parser().parse_args([cmd, "d.json"])
+            assert args.congestion_weight == 0.0
+            assert args.timing_weight == 0.0
+
+    def test_stitch_with_route_weights(self, design_json, capsys):
+        assert (
+            main(
+                [
+                    "stitch", design_json,
+                    "--sa-iters", "800",
+                    "--congestion-weight", "0.5",
+                    "--timing-weight", "0.1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "congestion cost" in out
+        assert "timing cost" in out
+
+    def test_route_runs(self, design_json, capsys):
+        assert main(["route", design_json, "--sa-iters", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-stitch on xc7z020" in out
+        assert "congestion: peak" in out
+        assert "critical path" in out
+        assert "3 blocks" not in out or "->" in out

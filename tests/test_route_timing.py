@@ -76,3 +76,89 @@ class TestLongestPath:
 
         with pytest.raises(ValueError):
             longest_path(s, PackResult(False, reason="congestion"), None)
+
+
+class TestBlockCriticalPath:
+    """Design-level critical path over the stitched block graph."""
+
+    def _design(self, n=4, width=16):
+        from repro.device.column import ColumnKind
+        from repro.flow.blockdesign import BlockDesign
+        from repro.place.shapes import Footprint
+
+        d = BlockDesign(name="bcp")
+        d.add_module(RTLModule.make("m", [RandomLogicCloud(n_luts=4)]))
+        for i in range(n):
+            d.add_instance(f"i{i}", "m")
+        for i in range(n - 1):
+            d.connect(f"i{i}", f"i{i + 1}", width=width)
+        fps = {"m": Footprint((ColumnKind.CLBLL,), (8,))}
+        return d, fps
+
+    def _result(self, placements):
+        from repro.place_kernel.result import StitchResult
+
+        placed = sum(1 for p in placements.values() if p is not None)
+        return StitchResult(
+            placements=placements,
+            n_placed=placed,
+            n_unplaced=len(placements) - placed,
+            wirelength=0.0,
+            final_cost=0.0,
+            iterations=0,
+            converged_at=0,
+            illegal_moves=0,
+        )
+
+    def test_chain_path_and_delay(self):
+        from repro.place_kernel.route_cost import NET_DELAY_NS, NS_PER_CLB
+        from repro.route import block_critical_path
+
+        d, fps = self._design(3)
+        res = self._result({"i0": (0, 0), "i1": (2, 0), "i2": (4, 0)})
+        rep = block_critical_path(d, fps, res, module_delays={"m": 2.0})
+        assert rep.path == ("i0", "i1", "i2")
+        assert rep.n_cyclic_edges == 0
+        assert rep.n_unplaced_edges == 0
+        # 3 nodes at 2.0 ns plus two hops of NET + 2 CLBs of distance.
+        expected = 3 * 2.0 + 2 * (NET_DELAY_NS + 2 * NS_PER_CLB)
+        assert rep.critical_path_ns == pytest.approx(expected)
+
+    def test_spread_placement_is_slower(self):
+        from repro.route import block_critical_path
+
+        d, fps = self._design(3)
+        tight = self._result({"i0": (0, 0), "i1": (1, 0), "i2": (2, 0)})
+        wide = self._result({"i0": (0, 0), "i1": (4, 0), "i2": (8, 0)})
+        t = block_critical_path(d, fps, tight, module_delays={"m": 2.0})
+        w = block_critical_path(d, fps, wide, module_delays={"m": 2.0})
+        assert w.critical_path_ns > t.critical_path_ns
+
+    def test_unplaced_edges_use_nominal_hop(self):
+        from repro.route import block_critical_path
+
+        d, fps = self._design(3)
+        res = self._result({"i0": (0, 0), "i1": None, "i2": (2, 0)})
+        rep = block_critical_path(d, fps, res, module_delays={"m": 2.0})
+        assert rep.n_unplaced_edges == 2
+        assert rep.critical_path_ns > 0
+
+    def test_default_node_delay_fallback(self):
+        from repro.place_kernel.route_cost import DEFAULT_NODE_DELAY_NS
+        from repro.route import block_critical_path
+
+        d, fps = self._design(2)
+        res = self._result({"i0": (0, 0), "i1": (1, 0)})
+        with_map = block_critical_path(
+            d, fps, res, module_delays={"m": DEFAULT_NODE_DELAY_NS}
+        )
+        without = block_critical_path(d, fps, res)
+        assert with_map.critical_path_ns == without.critical_path_ns
+
+    def test_empty_design(self):
+        from repro.flow.blockdesign import BlockDesign
+        from repro.route import block_critical_path
+
+        rep = block_critical_path(BlockDesign(name="e"), {}, self._result({}))
+        assert rep.critical_path_ns == 0.0
+        assert rep.path == ()

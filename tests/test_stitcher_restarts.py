@@ -154,7 +154,8 @@ class TestParetoWinner:
         }
 
         def fake_stitch(design, footprints, grid, params, *, kernel="fast",
-                        initial_placements=None, tracer=None):
+                        initial_placements=None, module_delays=None,
+                        tracer=None):
             return results[params.seed]
 
         monkeypatch.setattr("repro.flow.restarts.stitch", fake_stitch)
@@ -174,7 +175,8 @@ class TestParetoWinner:
         }
 
         def fake_stitch(design, footprints, grid, params, *, kernel="fast",
-                        initial_placements=None, tracer=None):
+                        initial_placements=None, module_delays=None,
+                        tracer=None):
             return results[params.seed]
 
         monkeypatch.setattr("repro.flow.restarts.stitch", fake_stitch)
@@ -190,7 +192,8 @@ class TestParetoWinner:
         }
 
         def fake_stitch(design, footprints, grid, params, *, kernel="fast",
-                        initial_placements=None, tracer=None):
+                        initial_placements=None, module_delays=None,
+                        tracer=None):
             return results[params.seed]
 
         monkeypatch.setattr("repro.flow.restarts.stitch", fake_stitch)
