@@ -7,22 +7,54 @@ unordered iteration feeding numeric accumulation, pool-safe worker
 functions, submission-order merges, and tracer spans/grafts kept inside
 their sanctioned shapes.
 
-* :mod:`repro.lint.rules` — the visitor framework, rule metadata and
-  registry (families ``DET`` / ``PAR`` / ``OBS``);
-* :mod:`repro.lint.engine` — file discovery, rule execution and
-  suppression filtering (:func:`lint_paths` / :func:`lint_source`);
-* :mod:`repro.lint.suppressions` — tokenizer-based
-  ``# repro: noqa[RULE-ID] reason`` parsing (reasons are mandatory);
-* :mod:`repro.lint.report` — text / json / github reporters and the
-  statistics artifact.
+Two rule tiers share one engine: per-module visitor rules (families
+``DET`` / ``PAR`` / ``OBS``) and whole-program rules (``FLOW`` /
+``SPAN`` / ``RED``) that run over a project-wide call graph, so an RNG
+or a span handle crossing a ``FanOut`` boundary two calls away is still
+traced to its sink.
 
-The rule pack and suppression syntax are documented in ``docs/api.md``
-("Static analysis"); the CI gate requires ``repro lint src/
-benchmarks/`` to exit zero.
+* :mod:`repro.lint.rules` — the visitor framework, rule metadata and
+  both registries;
+* :mod:`repro.lint.callgraph` — the project symbol table / call graph
+  (alias and re-export resolution across files);
+* :mod:`repro.lint.dataflow` — the abstract value-flow (RNG streams,
+  tracer handles, wall-clock values) plus the FLOW/SPAN/RED pack and
+  the span contract loader;
+* :mod:`repro.lint.engine` — file discovery, rule execution and
+  suppression filtering (:func:`lint_paths` / :func:`lint_sources`);
+* :mod:`repro.lint.fixes` — the ``--fix`` autofixer for mechanically
+  safe rewrites;
+* :mod:`repro.lint.baseline` — the ``--cache-dir`` incremental cache
+  with call-graph invalidation;
+* :mod:`repro.lint.suppressions` — tokenizer-based
+  ``# repro: noqa[RULE-ID] reason`` parsing (reasons are mandatory,
+  markers apply per logical statement);
+* :mod:`repro.lint.report` — text / json / github reporters and the
+  statistics artifact (schema v2).
+
+The rule pack, suppression syntax and span-contract format are
+documented in ``docs/api.md`` ("Static analysis"); the CI gate requires
+``repro lint src/ benchmarks/`` to exit zero and the autofixer to have
+nothing left to do.
 """
 
-from repro.lint.engine import LintResult, iter_python_files, lint_paths, lint_source
-from repro.lint.rules import Rule, RuleMeta, Violation, all_rules, rule_ids
+from repro.lint.engine import (
+    LintResult,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    lint_sources,
+)
+from repro.lint.fixes import FixOutcome, apply_fixes
+from repro.lint.rules import (
+    ProjectRule,
+    Rule,
+    RuleMeta,
+    Violation,
+    all_project_rules,
+    all_rules,
+    rule_ids,
+)
 from repro.lint.report import (
     FORMATS,
     render,
@@ -34,16 +66,21 @@ from repro.lint.suppressions import Suppression, SuppressionScan, scan_suppressi
 
 __all__ = [
     "FORMATS",
+    "FixOutcome",
     "LintResult",
+    "ProjectRule",
     "Rule",
     "RuleMeta",
     "Suppression",
     "SuppressionScan",
     "Violation",
+    "all_project_rules",
     "all_rules",
+    "apply_fixes",
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "render",
     "render_rule_table",
     "render_statistics",

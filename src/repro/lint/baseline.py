@@ -1,0 +1,218 @@
+"""Content-hash incremental lint cache with call-graph invalidation.
+
+``repro lint --cache-dir .lint-cache`` stores, per file, the content
+hash and the post-suppression findings of the last run.  On the next
+run only *dirty* files — changed files plus every file reachable from
+one through the module call/import graph, in either direction — have
+their rules re-executed; clean files reuse their cached findings
+verbatim.
+
+The closure is what keeps cross-file results sound: a whole-program
+finding in ``b.py`` can be created (or killed) by an edit to ``a.py``
+alone, but only when the two modules are connected in the call graph —
+so invalidating the undirected transitive closure over the *union* of
+the old and new edge sets (an edit can remove the very edge that made
+it a dependent) is sufficient.  Parsing and the dataflow fixpoint are
+always global — they are cheap and the summaries must be consistent —
+only rule execution and suppression filtering are skipped, which is
+where the time goes.
+
+The cache is invalidated wholesale when the rule selection, the span
+contract, or the registered rule set changes (all folded into one
+config key), so a stale cache can never mask a finding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.engine import (
+    LintResult,
+    _FileEntry,
+    _finalize_file,
+    _module_violations,
+    _parse_entry,
+    _project_violations,
+    _read_files,
+)
+from repro.lint.rules import Violation, rule_ids
+
+__all__ = ["CACHE_FILENAME", "config_key", "lint_paths_cached"]
+
+CACHE_FILENAME = "lint-cache.json"
+_CACHE_VERSION = 1
+
+
+def config_key(
+    select: Sequence[str] | None,
+    ignore: Sequence[str] | None,
+    contract: object | None,
+) -> str:
+    """Hash of everything (besides file content) that shapes findings."""
+    contract_repr: object = "default"
+    to_dict = getattr(contract, "to_dict", None)
+    if callable(to_dict):
+        contract_repr = to_dict()
+    payload = json.dumps(
+        {
+            "cache_version": _CACHE_VERSION,
+            "select": sorted(select or ()),
+            "ignore": sorted(ignore or ()),
+            "contract": contract_repr,
+            "rules": rule_ids(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _load_cache(cache_file: Path, cfg: str) -> dict:
+    try:
+        data = json.loads(cache_file.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if (
+        not isinstance(data, dict)
+        or data.get("version") != _CACHE_VERSION
+        or data.get("config") != cfg
+    ):
+        return {}
+    return data
+
+
+def _path_edges(entries: list[_FileEntry]) -> dict[str, list[str]]:
+    """Module call/import adjacency of this run, keyed by file path."""
+    from repro.lint.callgraph import ProjectIndex
+
+    contexts = {e.path: e.ctx for e in entries if e.ctx is not None}
+    if not contexts:
+        return {}
+    index = ProjectIndex(contexts)
+    path_of_module = {m: p for p, m in index.module_of_path.items()}
+    edges: dict[str, list[str]] = {}
+    for mod, neighbours in index.module_edges().items():
+        edges[path_of_module[mod]] = sorted(
+            path_of_module[n] for n in neighbours
+        )
+    return edges
+
+
+def _dirty_closure(
+    seeds: set[str], edge_sets: Sequence[dict[str, list[str]]]
+) -> set[str]:
+    """Undirected transitive closure of ``seeds`` over unioned edges."""
+    adjacency: dict[str, set[str]] = {}
+    for edges in edge_sets:
+        for a, neighbours in edges.items():
+            for b in neighbours:
+                adjacency.setdefault(a, set()).add(b)
+                adjacency.setdefault(b, set()).add(a)
+    dirty = set(seeds)
+    frontier = list(seeds)
+    while frontier:
+        node = frontier.pop()
+        for neighbour in adjacency.get(node, ()):
+            if neighbour not in dirty:
+                dirty.add(neighbour)
+                frontier.append(neighbour)
+    return dirty
+
+
+def lint_paths_cached(
+    files: Sequence[Path],
+    *,
+    cache_dir: Path,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+    contract: object | None = None,
+) -> LintResult:
+    """Lint ``files`` reusing cached findings for clean files."""
+    cfg = config_key(select, ignore, contract)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    cache_file = cache_dir / CACHE_FILENAME
+    cache = _load_cache(cache_file, cfg)
+    cached_files: dict[str, dict] = dict(cache.get("files", {}))
+    old_edges: dict[str, list[str]] = dict(cache.get("edges", {}))
+
+    result = LintResult()
+    sources = _read_files(files, result)
+    hashes = {path: _content_hash(src) for path, src in sources.items()}
+
+    entries = [
+        _parse_entry(path, sources[path], select, ignore)
+        for path in sorted(sources)
+    ]
+    new_edges = _path_edges(entries)
+
+    changed = {
+        path
+        for path, digest in hashes.items()
+        if cached_files.get(path, {}).get("hash") != digest
+    }
+    # A deleted file can strand findings in its old neighbours.
+    removed = set(cached_files) - set(hashes)
+    for path in sorted(removed):
+        changed |= set(old_edges.get(path, ()))
+    changed &= set(hashes)
+
+    dirty = _dirty_closure(changed, [old_edges, new_edges]) & set(hashes)
+
+    project_by_path, project_ids = _project_violations(
+        entries, select, ignore, contract
+    )
+
+    new_files: dict[str, dict] = {}
+    for entry in entries:
+        result.files_checked += 1
+        if entry.path in dirty or entry.path not in cached_files:
+            result.analyzed.append(entry.path)
+            kept, suppressed = _analyze_entry(
+                entry, project_by_path, project_ids, select, ignore
+            )
+        else:
+            record = cached_files[entry.path]
+            kept = [Violation.from_json_dict(v) for v in record["violations"]]
+            suppressed = [
+                Violation.from_json_dict(v) for v in record["suppressed"]
+            ]
+        result.violations.extend(kept)
+        result.suppressed.extend(suppressed)
+        new_files[entry.path] = {
+            "hash": hashes[entry.path],
+            "violations": [v.to_json_dict() for v in kept],
+            "suppressed": [v.to_json_dict() for v in suppressed],
+        }
+
+    payload = {
+        "version": _CACHE_VERSION,
+        "config": cfg,
+        "files": dict(sorted(new_files.items())),
+        "edges": dict(sorted(new_edges.items())),
+    }
+    cache_file.write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return result
+
+
+def _analyze_entry(
+    entry: _FileEntry,
+    project_by_path: dict[str, list[Violation]],
+    project_ids: set[str],
+    select: Sequence[str] | None,
+    ignore: Sequence[str] | None,
+) -> tuple[list[Violation], list[Violation]]:
+    if entry.ctx is None:
+        kept = [entry.parse_violation] if entry.parse_violation else []
+        return kept, []
+    raw, enabled_ids = _module_violations(entry, select, ignore)
+    raw.extend(project_by_path.get(entry.path, []))
+    return _finalize_file(entry, raw, enabled_ids | project_ids, select, ignore)

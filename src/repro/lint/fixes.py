@@ -1,0 +1,241 @@
+"""Mechanical autofixes for the rules where the rewrite is provably safe.
+
+``repro lint --fix`` applies these; ``--fix --diff`` prints the unified
+diff instead of writing, and ``--fix --diff --check-clean`` turns a
+non-empty diff into a failing exit (the CI guard).
+
+Three rewrites, all anchored on AST/token positions of the *current*
+source — never on regexes over raw text — so string literals and
+comments that merely look like code are untouched:
+
+* ``DET003`` — ``<mod>.time()`` → ``<mod>.perf_counter()`` (and the
+  ``_ns`` variants), replacing exactly the attribute name at the end of
+  the callee expression.  Only the dotted form is fixable; a bare
+  ``time()`` from ``from time import time`` needs an import rewrite no
+  mechanical fix should attempt (the rule marks those unfixable).
+* ``DET005`` — wrap the unsorted listing call in ``sorted(...)`` (two
+  pure insertions around the call's exact span).
+* ``SUP002`` — drop the stale rule id from the ``# repro: noqa[...]``
+  bracket, or the whole comment once no id remains (located via the
+  tokenizer, so the marker inside a string is never edited).
+
+Edits are collected per file, checked for overlap, and applied
+right-to-left so earlier offsets stay valid.  Fixing is idempotent by
+construction: each rewrite removes the very pattern its rule matches,
+so a second pass plans zero edits.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+from repro.lint.rules import UNUSED_SUPPRESSION_RULE_ID, Violation
+from repro.lint.suppressions import _NOQA_RE
+
+__all__ = ["FixOutcome", "apply_fixes"]
+
+#: DET003 attribute renames.
+_CLOCK_RENAMES = {"time": "perf_counter", "time_ns": "perf_counter_ns"}
+
+_SUP_ID_RE = re.compile(r"suppression of ([A-Z]{3,4}\d{3}) ")
+
+
+@dataclass(frozen=True)
+class _Edit:
+    start: int
+    end: int
+    replacement: str
+
+
+@dataclass
+class FixOutcome:
+    """Result of one file's fix pass."""
+
+    source: str
+    #: Violations a planned edit addressed (in input order).
+    fixed: list[Violation]
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.fixed)
+
+
+def _line_offsets(source: str) -> list[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _abs(offsets: list[int], line: int, col: int) -> int:
+    return offsets[line - 1] + col
+
+
+def _find_call(
+    tree: ast.Module, line: int, col: int
+) -> ast.Call | None:
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and node.lineno == line
+            and node.col_offset == col
+        ):
+            return node
+    return None
+
+
+def _plan_det003(
+    source: str, offsets: list[int], tree: ast.Module, v: Violation
+) -> list[_Edit]:
+    call = _find_call(tree, v.line, v.col - 1)
+    if call is None or not isinstance(call.func, ast.Attribute):
+        return []
+    attr = call.func.attr
+    if attr not in _CLOCK_RENAMES:
+        return []
+    start = _abs(
+        offsets, call.func.value.end_lineno, call.func.value.end_col_offset
+    )
+    end = _abs(offsets, call.func.end_lineno, call.func.end_col_offset)
+    segment = source[start:end]
+    if not segment.endswith(attr):
+        return []
+    return [
+        _Edit(
+            start,
+            end,
+            segment[: len(segment) - len(attr)] + _CLOCK_RENAMES[attr],
+        )
+    ]
+
+
+def _plan_det005(
+    source: str, offsets: list[int], tree: ast.Module, v: Violation
+) -> list[_Edit]:
+    call = _find_call(tree, v.line, v.col - 1)
+    if call is None:
+        return []
+    start = _abs(offsets, call.lineno, call.col_offset)
+    end = _abs(offsets, call.end_lineno, call.end_col_offset)
+    return [_Edit(start, start, "sorted("), _Edit(end, end, ")")]
+
+
+def _plan_sup002(
+    source: str,
+    offsets: list[int],
+    line: int,
+    stale_ids: set[str],
+) -> list[_Edit]:
+    comment = None
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT and tok.start[0] == line:
+                comment = tok
+                break
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+    if comment is None:
+        return []
+    match = _NOQA_RE.search(comment.string)
+    if match is None or match.group(1) is None:
+        return []
+    ids = [part.strip() for part in match.group("ids").split(",")]
+    remaining = [rid for rid in ids if rid not in stale_ids]
+    comment_start = _abs(offsets, line, comment.start[1])
+    if remaining:
+        # Rewrite just the bracket payload.
+        bracket_open = comment.string.index("[", match.start())
+        bracket_close = comment.string.index("]", bracket_open)
+        return [
+            _Edit(
+                comment_start + bracket_open + 1,
+                comment_start + bracket_close,
+                ", ".join(remaining),
+            )
+        ]
+    # No id left: drop the whole comment plus the spaces before it.
+    start = comment_start
+    while start > 0 and source[start - 1] in " \t":
+        start -= 1
+    end = comment_start + len(comment.string)
+    line_start = offsets[line - 1]
+    if source[line_start:start].strip() == "":
+        # Comment-only line: remove it entirely, newline included.
+        start = line_start
+        if end < len(source) and source[end] == "\n":
+            end += 1
+    return [_Edit(start, end, "")]
+
+
+def apply_fixes(source: str, violations: list[Violation]) -> FixOutcome:
+    """Apply every planned fix for ``violations`` to ``source``.
+
+    Only violations flagged ``fixable`` are considered; anything whose
+    anchor no longer matches the source (stale positions, hand edits in
+    between) is skipped rather than guessed at.  Overlapping edits keep
+    the first and drop the rest.
+    """
+    try:
+        tree = ast.parse(source)
+    except (SyntaxError, ValueError):
+        return FixOutcome(source=source, fixed=[])
+    offsets = _line_offsets(source)
+
+    plans: list[tuple[Violation, list[_Edit]]] = []
+    sup_by_line: dict[int, tuple[set[str], list[Violation]]] = {}
+    for v in violations:
+        if not v.fixable:
+            continue
+        if v.rule == "DET003":
+            plans.append((v, _plan_det003(source, offsets, tree, v)))
+        elif v.rule == "DET005":
+            plans.append((v, _plan_det005(source, offsets, tree, v)))
+        elif v.rule == UNUSED_SUPPRESSION_RULE_ID:
+            match = _SUP_ID_RE.search(v.message)
+            if match is not None:
+                ids, vs = sup_by_line.setdefault(v.line, (set(), []))
+                ids.add(match.group(1))
+                vs.append(v)
+    # Stale ids on one comment are removed together (one edit per comment).
+    for line, (ids, vs) in sorted(sup_by_line.items()):
+        edits = _plan_sup002(source, offsets, line, ids)
+        for i, v in enumerate(vs):
+            plans.append((v, edits if i == 0 else []))
+
+    taken: list[_Edit] = []
+    fixed: list[Violation] = []
+
+    def overlaps(edit: _Edit) -> bool:
+        return any(
+            edit.start < other.end and other.start < edit.end
+            for other in taken
+            if not (edit.start == edit.end or other.start == other.end)
+            or (edit.start == other.start and edit.end == other.end)
+        )
+
+    for v, edits in plans:
+        if not edits:
+            if any(f is v for f in fixed):
+                continue
+            # SUP002 companions with no own edit ride on the first one.
+            if v.rule == UNUSED_SUPPRESSION_RULE_ID and any(
+                f.rule == UNUSED_SUPPRESSION_RULE_ID and f.line == v.line
+                for f in fixed
+            ):
+                fixed.append(v)
+            continue
+        if any(overlaps(e) for e in edits):
+            continue
+        taken.extend(edits)
+        fixed.append(v)
+
+    if not taken:
+        return FixOutcome(source=source, fixed=[])
+    new = source
+    for edit in sorted(taken, key=lambda e: (e.start, e.end), reverse=True):
+        new = new[: edit.start] + edit.replacement + new[edit.end :]
+    return FixOutcome(source=new, fixed=fixed)

@@ -2,9 +2,13 @@
 
 Three formats, mirroring common linter conventions:
 
-* ``text`` — ``path:line:col: ID message`` plus an indented fix hint;
-* ``json`` — the stable machine schema (``LintResult.to_json_dict``);
-* ``github`` — ``::error`` workflow commands that annotate PR diffs.
+* ``text`` — ``path:line:col: ID message`` plus an indented fix hint
+  and, for whole-program findings, the cross-file call chain;
+* ``json`` — the stable machine schema (``LintResult.to_json_dict``,
+  schema v2);
+* ``github`` — ``::error`` workflow commands that annotate PR diffs
+  (paths are emitted relative to the repository root when one is given,
+  so annotations attach correctly from subdirectory invocations).
 
 :func:`render_statistics` renders the per-rule count table and
 :func:`statistics_json` the artifact payload CI uploads.
@@ -13,9 +17,11 @@ Three formats, mirroring common linter conventions:
 from __future__ import annotations
 
 import json
+import os
+from pathlib import Path
 
 from repro.lint.engine import LintResult
-from repro.lint.rules import Rule, all_rules
+from repro.lint.rules import Rule, all_project_rules, all_rules
 
 __all__ = [
     "FORMATS",
@@ -36,6 +42,8 @@ def render_text(result: LintResult, *, fix_hints: bool = True) -> str:
     lines: list[str] = []
     for v in result.violations:
         lines.append(f"{v.path}:{v.line}:{v.col}: {v.rule} {v.message}")
+        for frame in v.trace:
+            lines.append(f"    via: {frame}")
         if fix_hints and v.fix_hint:
             lines.append(f"    fix: {v.fix_hint}")
     n = len(result.violations)
@@ -48,17 +56,40 @@ def render_text(result: LintResult, *, fix_hints: bool = True) -> str:
 
 
 def render_json(result: LintResult) -> str:
-    """The machine-readable document (schema version 1)."""
+    """The machine-readable document (schema version 2)."""
     return json.dumps(result.to_json_dict(), indent=2, sort_keys=True)
 
 
-def render_github(result: LintResult) -> str:
-    """GitHub Actions workflow commands (inline PR annotations)."""
-    lines = [
-        f"::error file={v.path},line={v.line},col={v.col},"
-        f"title={v.rule}::{v.message}"
-        for v in result.violations
-    ]
+def _relative_to_root(path: str, root: str | Path | None) -> str:
+    """``path`` relative to ``root`` (posix separators) when possible."""
+    if root is None:
+        return path
+    try:
+        rel = os.path.relpath(os.path.abspath(path), os.path.abspath(root))
+    except ValueError:  # different drives on Windows
+        return path
+    if rel.startswith(".."):
+        return path
+    return rel.replace(os.sep, "/")
+
+
+def render_github(result: LintResult, *, root: str | Path | None = None) -> str:
+    """GitHub Actions workflow commands (inline PR annotations).
+
+    ``root`` is the repository root the annotation paths must be
+    relative to; invocations from a subdirectory would otherwise emit
+    paths the Checks API cannot attach to the diff.
+    """
+    lines = []
+    for v in result.violations:
+        message = v.message
+        if v.trace:
+            # %0A is the workflow-command newline escape.
+            message += "%0A" + "%0A".join(f"via: {t}" for t in v.trace)
+        lines.append(
+            f"::error file={_relative_to_root(v.path, root)},line={v.line},"
+            f"col={v.col},title={v.rule}::{message}"
+        )
     lines.append(
         f"{len(result.violations)} violation(s) in "
         f"{result.files_checked} file(s)"
@@ -66,14 +97,14 @@ def render_github(result: LintResult) -> str:
     return "\n".join(lines)
 
 
-def render(result: LintResult, fmt: str) -> str:
+def render(result: LintResult, fmt: str, *, root: str | Path | None = None) -> str:
     """Dispatch on a ``--format`` value."""
     if fmt == "text":
         return render_text(result)
     if fmt == "json":
         return render_json(result)
     if fmt == "github":
-        return render_github(result)
+        return render_github(result, root=root)
     raise ValueError(f"unknown format: {fmt!r} (expected one of {FORMATS})")
 
 
@@ -82,14 +113,14 @@ def render_statistics(result: LintResult) -> str:
     stats = result.statistics()
     by_rule = stats["by_rule"]
     assert isinstance(by_rule, dict)
-    lines = ["rule    count", "------  -----"]
+    lines = ["rule     count", "-------  -----"]
     for rid, count in by_rule.items():
-        lines.append(f"{rid:<6}  {count:>5}")
+        lines.append(f"{rid:<7}  {count:>5}")
     if not by_rule:
-        lines.append("(none)  {:>5}".format(0))
+        lines.append("(none)   {:>5}".format(0))
     lines.append(
         f"total {stats['total']} across {stats['files_checked']} file(s), "
-        f"{stats['suppressed']} suppressed"
+        f"{stats['suppressed']} suppressed, {stats['fixable']} fixable"
     )
     return "\n".join(lines)
 
@@ -100,10 +131,17 @@ def statistics_json(result: LintResult) -> str:
 
 
 def render_rule_table(rules: list[Rule] | None = None) -> str:
-    """The ``--list-rules`` output: every rule with its one-line summary."""
-    rules = rules if rules is not None else all_rules()
+    """The ``--list-rules`` output: every rule with its one-line summary.
+
+    Project (whole-program) rules are listed after the per-module pack;
+    ``[fixable]`` marks rules ``--fix`` can rewrite.
+    """
+    packs: list = (
+        rules if rules is not None else [*all_rules(), *all_project_rules()]
+    )
     lines = []
-    for rule in rules:
+    for rule in packs:
         m = rule.meta
-        lines.append(f"{m.id}  {m.name:<24} [{m.severity}] {m.summary}")
+        fix = " [fixable]" if m.fixable else ""
+        lines.append(f"{m.id:<7}  {m.name:<26} [{m.severity}]{fix} {m.summary}")
     return "\n".join(lines)

@@ -10,15 +10,24 @@ Grammar, per comment::
     # repro: noqa[DET001] reason text
     # repro: noqa[DET001,PAR002] reason covering both
 
-* The bracket list holds one or more rule ids (``ABC123`` shape).
+* The bracket list holds one or more rule ids (``ABC123``/``ABCD123``
+  shape).
 * The reason is **mandatory** — a suppression that cannot say why it
   exists is a bug magnet; reason-less or otherwise malformed markers are
   themselves reported as ``SUP001``.
-* A suppression applies to violations reported on the comment's line.
+* A suppression applies **per logical statement**: a marker anywhere on
+  a multi-line call, or on a decorator line, silences the violation the
+  rule reported at the statement's first line.  When the scanner is
+  given the module's AST it maps physical lines to statement extents
+  (a compound statement's extent is its header — decorators through the
+  line before the first body statement — so a noqa inside a function
+  body never leaks onto the ``def``); without a tree it falls back to
+  exact-line matching.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
@@ -31,6 +40,34 @@ __all__ = ["Suppression", "SuppressionScan", "scan_suppressions"]
 #: Anywhere-in-comment marker; the bracket payload and trailing reason
 #: are validated separately so malformed variants can be diagnosed.
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa\s*(\[(?P<ids>[^\]]*)\])?(?P<reason>.*)$")
+
+
+def _statement_extents(tree: ast.Module) -> dict[int, int]:
+    """Map each physical line to its logical statement's anchor line.
+
+    Simple statements span ``lineno..end_lineno``.  Compound statements
+    (anything with a statement body) contribute only their *header* —
+    decorators and the lines up to the first body statement — so their
+    bodies' lines belong to the inner statements, not the container.
+    Inner statements are visited after their parents by :func:`ast.walk`
+    and override them on shared lines.
+    """
+    extents: dict[int, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        decorators = getattr(node, "decorator_list", None)
+        if decorators:
+            start = min(start, min(d.lineno for d in decorators))
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = max(start, body[0].lineno - 1)
+        else:
+            end = node.end_lineno or node.lineno
+        for line in range(start, end + 1):
+            extents[line] = start
+    return extents
 
 
 @dataclass(frozen=True)
@@ -49,24 +86,36 @@ class SuppressionScan:
     suppressions: list[Suppression] = field(default_factory=list)
     #: ``(line, problem)`` pairs for markers that fail the grammar.
     malformed: list[tuple[int, str]] = field(default_factory=list)
+    #: physical line -> logical-statement anchor line (empty without AST).
+    extents: dict[int, int] = field(default_factory=dict)
+
+    def anchor(self, line: int) -> int:
+        """The logical-statement anchor of a physical ``line``."""
+        return self.extents.get(line, line)
 
     def ids_for_line(self, line: int) -> frozenset[str]:
-        """Rule ids suppressed on ``line``."""
+        """Rule ids suppressed for the statement containing ``line``."""
+        target = self.anchor(line)
         out: set[str] = set()
         for sup in self.suppressions:
-            if sup.line == line:
+            if sup.line == line or self.anchor(sup.line) == target:
                 out.update(sup.rule_ids)
         return frozenset(out)
 
 
-def scan_suppressions(source: str) -> SuppressionScan:
+def scan_suppressions(source: str, tree: ast.Module | None = None) -> SuppressionScan:
     """Scan ``source`` for suppression comments via the tokenizer.
 
     Only true comment tokens are considered; the marker inside string
-    literals is inert.  Unreadable sources (tokenizer errors) yield an
-    empty scan — the engine reports the parse failure separately.
+    literals is inert.  Pass the module's parsed ``tree`` to enable
+    logical-statement matching (a noqa on any line of a multi-line
+    statement covers the whole statement).  Unreadable sources
+    (tokenizer errors) yield an empty scan — the engine reports the
+    parse failure separately.
     """
     scan = SuppressionScan()
+    if tree is not None:
+        scan.extents = _statement_extents(tree)
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError, SyntaxError):

@@ -1,0 +1,135 @@
+"""Incremental linting: content-hash cache + call-graph invalidation."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.baseline import CACHE_FILENAME
+from repro.lint.engine import lint_paths
+
+HELPER = "def pending():\n    return ['b', 'a']\n"
+HELPER_SET = "def pending():\n    return {'b', 'a'}\n"
+DRIVER = (
+    "from pkg.helper import pending\n\n"
+    "def total(costs):\n"
+    "    acc = 0.0\n"
+    "    for name in pending():\n"
+    "        acc += costs[name]\n"
+    "    return acc\n"
+)
+UNRELATED = "def triple(x):\n    return 3 * x\n"
+
+
+@pytest.fixture()
+def project(tmp_path: Path) -> Path:
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "helper.py").write_text(HELPER, encoding="utf-8")
+    (pkg / "driver.py").write_text(DRIVER, encoding="utf-8")
+    (tmp_path / "unrelated.py").write_text(UNRELATED, encoding="utf-8")
+    return tmp_path
+
+
+def run(project: Path, **kwargs):
+    result = lint_paths([project], cache_dir=project / ".cache", **kwargs)
+    analyzed = {Path(p).name for p in result.analyzed}
+    return result, analyzed
+
+
+def test_first_run_analyzes_everything_then_nothing(project):
+    _, analyzed = run(project)
+    assert analyzed == {"__init__.py", "helper.py", "driver.py", "unrelated.py"}
+    result, analyzed = run(project)
+    assert analyzed == set()
+    assert not result.violations
+
+
+def test_one_file_change_reanalyzes_only_its_component(project):
+    run(project)
+    (project / "unrelated.py").write_text(
+        UNRELATED + "\n\ndef sextuple(x):\n    return 6 * x\n", encoding="utf-8"
+    )
+    _, analyzed = run(project)
+    # No call-graph edge touches the rest of the project.
+    assert analyzed == {"unrelated.py"}
+
+
+def test_edit_propagates_to_call_graph_dependents(project):
+    run(project)
+    # Changing only helper.py makes driver.py's loop a RED001 — a clean
+    # cache hit on driver.py would miss it.
+    (project / "pkg" / "helper.py").write_text(HELPER_SET, encoding="utf-8")
+    result, analyzed = run(project)
+    assert "helper.py" in analyzed and "driver.py" in analyzed
+    assert "unrelated.py" not in analyzed
+    assert [v.rule for v in result.violations] == ["RED001"]
+    assert result.violations[0].path.endswith("driver.py")
+    # And back: reverting the helper clears the finding again.
+    (project / "pkg" / "helper.py").write_text(HELPER, encoding="utf-8")
+    result, _ = run(project)
+    assert not result.violations
+
+
+def test_cached_results_match_uncached(project):
+    (project / "pkg" / "helper.py").write_text(HELPER_SET, encoding="utf-8")
+    run(project)  # populate
+    (project / "pkg" / "driver.py").write_text(
+        DRIVER + "\nTOTAL_HINT = 'sum'\n", encoding="utf-8"
+    )
+    cached, _ = run(project)
+    fresh = lint_paths([project])
+    def key(v):
+        return (v.path, v.line, v.col, v.rule, v.message)
+
+    assert [key(v) for v in cached.violations] == [
+        key(v) for v in fresh.violations
+    ]
+    assert cached.files_checked == fresh.files_checked
+
+
+def test_config_change_invalidates_whole_cache(project):
+    run(project)
+    _, analyzed = run(project, select=["DET"])
+    assert analyzed == {"__init__.py", "helper.py", "driver.py", "unrelated.py"}
+
+
+def test_deleted_file_invalidates_its_old_neighbours(project):
+    (project / "pkg" / "helper.py").write_text(HELPER_SET, encoding="utf-8")
+    result, _ = run(project)
+    assert [v.rule for v in result.violations] == ["RED001"]
+    # Removing the helper severs the import; driver must be re-analyzed
+    # (its cached RED001 would otherwise survive as a ghost finding).
+    (project / "pkg" / "helper.py").unlink()
+    result, analyzed = run(project)
+    assert "driver.py" in analyzed
+    assert "RED001" not in {v.rule for v in result.violations}
+
+
+def test_corrupt_cache_file_is_ignored(project):
+    run(project)
+    cache_file = project / ".cache" / CACHE_FILENAME
+    assert cache_file.exists()
+    cache_file.write_text("{not json", encoding="utf-8")
+    result, analyzed = run(project)
+    assert analyzed == {"__init__.py", "helper.py", "driver.py", "unrelated.py"}
+    assert not result.violations
+    # The rewritten cache is valid JSON again.
+    json.loads(cache_file.read_text(encoding="utf-8"))
+
+
+def test_cli_cache_dir_round_trip(project, capsys):
+    from repro.cli import main
+
+    cache = project / ".cli-cache"
+    argv = ["lint", str(project / "pkg"), "--cache-dir", str(cache)]
+    assert main(argv) == 0
+    assert (cache / CACHE_FILENAME).exists()
+    capsys.readouterr()
+    (project / "pkg" / "helper.py").write_text(HELPER_SET, encoding="utf-8")
+    assert main(argv) == 1
+    out = capsys.readouterr().out
+    assert "RED001" in out

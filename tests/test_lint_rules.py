@@ -18,6 +18,7 @@ from repro.cli import main
 from repro.lint import (
     LintResult,
     Violation,
+    all_project_rules,
     all_rules,
     lint_paths,
     lint_source,
@@ -406,7 +407,10 @@ def test_every_rule_has_metadata_and_examples():
     assert len(rules) == 10
     families = {r.meta.family for r in rules}
     assert families == {"DET", "PAR", "OBS"}
-    for rule in rules:
+    project_rules = all_project_rules()
+    assert len(project_rules) == 6
+    assert {r.meta.family for r in project_rules} == {"FLOW", "SPAN", "RED"}
+    for rule in [*rules, *project_rules]:
         m = rule.meta
         assert m.id.startswith(m.family)
         for field in ("summary", "rationale", "fix_hint", "example_bad",
@@ -539,7 +543,7 @@ def test_json_format_round_trips():
     """
     result = lint_source(textwrap.dedent(src), path="s.py")
     doc = json.loads(render(result, "json"))
-    assert doc["version"] == 1
+    assert doc["version"] == 2
     assert doc["files_checked"] == 1
     assert doc["statistics"]["by_rule"] == {"DET003": 1}
     rebuilt = LintResult.from_json_dict(doc)

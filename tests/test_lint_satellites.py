@@ -1,0 +1,217 @@
+"""Satellite coverage: statement-scoped suppressions, file discovery,
+CLI exit codes, and github annotations from subdirectory invocations."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import lint_source
+from repro.lint.engine import iter_python_files
+
+# -------------------------------------------- statement-scoped suppressions
+
+
+def rules(source: str) -> set[str]:
+    return {v.rule for v in lint_source(source).violations}
+
+
+def test_noqa_on_closing_line_of_multiline_call_suppresses():
+    # The violation is reported on the statement's first line; the
+    # marker sits two lines down on the closing paren.  Exact-line
+    # matching (the pre-fix behaviour) would miss it.
+    src = (
+        "import time\n\n"
+        "value = max(\n"
+        "    time.time(),\n"
+        ")  # repro: noqa[DET003] wall-clock stamp is intentional here\n"
+    )
+    result = lint_source(src)
+    assert "DET003" not in {v.rule for v in result.violations}
+    assert "SUP002" not in {v.rule for v in result.violations}
+    assert any(v.rule == "DET003" for v in result.suppressed)
+
+
+def test_noqa_on_def_line_suppresses_decorator_violation():
+    src = (
+        "import time\n\n"
+        "@DEADLINE.register(time.time())\n"
+        "def job():  # repro: noqa[DET003] registration stamp is fine\n"
+        "    return 1\n"
+    )
+    result = lint_source(src)
+    assert "DET003" not in {v.rule for v in result.violations}
+    assert any(v.rule == "DET003" for v in result.suppressed)
+
+
+def test_header_noqa_does_not_leak_into_function_body():
+    # The def header and the body are different logical statements: a
+    # marker on the header must not silence body violations (and is
+    # itself reported as unused).
+    src = (
+        "import time\n\n"
+        "def job():  # repro: noqa[DET003] misplaced\n"
+        "    return time.time()\n"
+    )
+    fired = rules(src)
+    assert "DET003" in fired
+    assert "SUP002" in fired
+
+
+def test_unused_suppression_is_flagged_and_fixable():
+    src = "x = 1  # repro: noqa[DET005] nothing to silence\n"
+    result = lint_source(src)
+    sup = [v for v in result.violations if v.rule == "SUP002"]
+    assert len(sup) == 1 and sup[0].fixable
+    assert "DET005" in sup[0].message
+
+
+# ------------------------------------------------------------ file discovery
+
+
+@pytest.fixture()
+def tree(tmp_path: Path) -> Path:
+    (tmp_path / "a.py").write_text("A = 1\n", encoding="utf-8")
+    sub = tmp_path / "sub"
+    sub.mkdir()
+    (sub / "b.py").write_text("B = 2\n", encoding="utf-8")
+    (sub / "gen_pb2.py").write_text("G = 3\n", encoding="utf-8")
+    venv = tmp_path / ".venv"
+    venv.mkdir()
+    (venv / "c.py").write_text("C = 3\n", encoding="utf-8")
+    return tmp_path
+
+
+def names(files: list[Path], root: Path) -> list[str]:
+    return [f.relative_to(root).as_posix() for f in files]
+
+
+def test_iter_python_files_sorted_recursive(tree):
+    found = names(iter_python_files([tree]), tree)
+    # Deterministic order: each directory's files first, then its
+    # subdirectories, everything sorted.
+    assert found == ["a.py", ".venv/c.py", "sub/b.py", "sub/gen_pb2.py"]
+    assert found == names(iter_python_files([tree]), tree)
+
+
+def test_iter_python_files_skips_symlinked_dirs(tree, tmp_path):
+    outside = tmp_path / "outside"
+    outside.mkdir()
+    (outside / "d.py").write_text("D = 4\n", encoding="utf-8")
+    link = tree / "linked"
+    try:
+        link.symlink_to(outside, target_is_directory=True)
+    except OSError:
+        pytest.skip("platform does not allow symlinks")
+    found = names(iter_python_files([tree]), tree)
+    assert not any(n.startswith("linked/") for n in found)
+    # The real directory is still walked when named directly.
+    assert iter_python_files([outside]) == [outside / "d.py"]
+
+
+def test_iter_python_files_exclude_prunes_dirs_and_patterns(tree):
+    found = names(iter_python_files([tree], exclude=[".venv"]), tree)
+    assert found == ["a.py", "sub/b.py", "sub/gen_pb2.py"]
+    found = names(
+        iter_python_files([tree], exclude=[".venv", "*_pb2.py"]), tree
+    )
+    assert found == ["a.py", "sub/b.py"]
+
+
+def test_iter_python_files_missing_path_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        iter_python_files([tmp_path / "nope"])
+
+
+def test_cli_exclude_flag(tree, capsys):
+    (tree / "sub" / "gen_pb2.py").write_text(
+        "import time\nT = time.time()\n", encoding="utf-8"
+    )
+    assert main(["lint", str(tree)]) == 1
+    capsys.readouterr()
+    code = main(["lint", str(tree), "--exclude", "*_pb2.py", "--exclude", ".venv"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2 file(s)" in out
+
+
+# ------------------------------------------------------- CLI + github output
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n", encoding="utf-8")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nT = time.time()\n", encoding="utf-8")
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n", encoding="utf-8")
+
+    assert main(["lint", str(clean)]) == 0
+    assert main(["lint", str(dirty)]) == 1
+    # Unparsable input is a reported violation (LNT001), not a crash.
+    assert main(["lint", str(broken)]) == 1
+    out = capsys.readouterr().out
+    assert "LNT001" in out
+    with pytest.raises(FileNotFoundError):
+        main(["lint", str(tmp_path / "absent.py")])
+
+
+def test_github_renderer_paths_relative_to_git_root(tmp_path, monkeypatch, capsys):
+    (tmp_path / ".git").mkdir()
+    sub = tmp_path / "tools" / "inner"
+    sub.mkdir(parents=True)
+    (sub / "m.py").write_text("import time\nT = time.time()\n", encoding="utf-8")
+    (sub / "n.py").write_text(
+        "import os\nF = os.listdir('.')\n", encoding="utf-8"
+    )
+    monkeypatch.chdir(sub)
+    code = main(["lint", "m.py", "n.py", "--format", "github"])
+    out = capsys.readouterr().out
+    assert code == 1
+    # Annotations carry paths relative to the repository root, not to
+    # the invocation directory — multi-file, one annotation each.
+    assert "::error file=tools/inner/m.py,line=2,col=5,title=DET003::" in out
+    assert "::error file=tools/inner/n.py,line=2," in out
+
+
+def test_github_renderer_without_git_root_keeps_given_paths(
+    tmp_path, monkeypatch, capsys
+):
+    f = tmp_path / "m.py"
+    f.write_text("import time\nT = time.time()\n", encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+    assert main(["lint", "m.py", "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert "::error file=m.py,line=2," in out
+
+
+def test_github_renderer_escapes_trace_newlines(capsys, tmp_path, monkeypatch):
+    (tmp_path / ".git").mkdir()
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "workers.py").write_text(
+        "from concurrent.futures import ProcessPoolExecutor\n\n"
+        "def work(rng):\n"
+        "    return rng.random()\n\n"
+        "def launch(rng):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        fut = pool.submit(work, rng)\n"
+        "    return fut.result()\n",
+        encoding="utf-8",
+    )
+    (pkg / "driver.py").write_text(
+        "import numpy as np\n\n"
+        "from pkg.workers import launch\n\n"
+        "def go():\n"
+        "    rng = np.random.default_rng()\n"
+        "    return launch(rng)\n",
+        encoding="utf-8",
+    )
+    monkeypatch.chdir(tmp_path)
+    assert main(["lint", "pkg", "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    line = next(ln for ln in out.splitlines() if "FLOW001" in ln)
+    assert "%0Avia: " in line and "\n" not in line.replace("%0A", "")
